@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper at the
+``small`` scale, timing the experiment end to end (corpus building is
+cached across benchmarks in the user cache directory) and asserting the
+paper's qualitative shape — who wins, what rises, what degrades.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment module once under the benchmark timer."""
+
+    def runner(module, **kwargs):
+        return benchmark.pedantic(
+            lambda: module.run(scale="small", **kwargs), rounds=1, iterations=1
+        )
+
+    return runner

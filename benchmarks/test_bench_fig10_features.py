@@ -1,0 +1,22 @@
+"""E-F10: XGB feature importance by average gain (Fig. 10)."""
+
+from repro.experiments import fig10_features
+
+
+def test_fig10_features(run_experiment):
+    result = run_experiment(fig10_features)
+    print()
+    print(result.summary())
+
+    assert len(result.rows) == 10
+    gains = [row["avg_gain"] for row in result.rows]
+    assert gains == sorted(gains, reverse=True)
+    assert gains[0] > 0.0
+
+    # Paper shape: the top features mix stable vector properties (ports,
+    # protocol, sizes) with drifting local knowledge (source IPs) — at
+    # least three distinct feature domains appear.
+    assert result.notes["distinct_domains_in_top"] >= 3
+    domains = result.notes["domains"].split(",")
+    assert "src_port" in domains  # the abused service ports
+    assert "src_ip" in domains    # the (drifting) reflectors

@@ -1,0 +1,43 @@
+"""E-F11: temporal model drift (Fig. 11a/11b).
+
+Paper shape: one-shot models age (short training intervals degrade and
+show outliers; longer ones hold up); daily retraining on a sliding
+window beats one-shot training, and wider windows mainly remove
+outliers.
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_temporal
+
+
+def _row(result, site, regime, window):
+    return next(
+        r
+        for r in result.rows
+        if r["site"] == site and r["regime"] == regime and r["window_days"] == window
+    )
+
+
+def test_fig11_temporal(run_experiment):
+    result = run_experiment(fig11_temporal)
+    print()
+    print(result.summary())
+
+    # Aggregate regime comparison (individual cells are noise-dominated
+    # at this scale): daily retraining holds up at least as well as
+    # one-shot training.
+    assert result.notes["sliding_beats_oneshot"]
+
+    for site in ("IXP-US1", "IXP-CE1"):
+        # (The paper's "longer one-shot windows reduce outliers" is a
+        # data-volume effect that our statistically-rich simulated days
+        # do not reproduce — see EXPERIMENTS.md, known deviation #6 —
+        # so no per-window outlier assertion here.)
+
+        # The recommended setting (sliding, widest window) performs at a
+        # high level (paper: median 0.978-0.993, never below 0.95 —
+        # scaled-down corpora carry more per-day variance).
+        recommended = _row(result, site, "sliding", 7)
+        assert recommended["median_fbeta"] > 0.9
+        assert recommended["min_fbeta"] > 0.8

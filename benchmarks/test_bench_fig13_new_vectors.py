@@ -1,0 +1,37 @@
+"""E-F13: learning new DDoS vectors without operator intervention
+(Fig. 13).
+
+Paper shape: once a new vector (SNMP / SSDP / memcached) starts being
+blackholed, its source-port WoE rises from ~neutral to clearly positive
+and the classifier's per-vector score follows; HTTP stays negative
+throughout.
+"""
+
+import numpy as np
+
+from repro.experiments import fig13_new_vectors
+
+
+def test_fig13_new_vectors(run_experiment):
+    result = run_experiment(fig13_new_vectors)
+    print()
+    print(result.summary())
+
+    tracked = [r for r in result.rows if r["vector"] in ("SNMP", "SSDP", "memcached")]
+    assert len(tracked) == 3
+    for row in tracked:
+        # WoE rises once the vector appears in blackholing traffic (the
+        # paper's claim is the *rise*; for ports with a legitimate
+        # benign population, e.g. SNMP monitoring, the level may stay
+        # below zero while still lifting the classifier).
+        assert row["woe_after"] > row["woe_before"] + 0.5, row["vector"]
+        # ... and the classifier converges to high per-vector scores.
+        assert row["final_fbeta"] > 0.75, row["vector"]
+    # Vectors without benign carriers end clearly positive.
+    for name in ("SSDP", "memcached"):
+        row = next(r for r in tracked if r["vector"] == name)
+        assert row["woe_after"] > 0.5, name
+
+    # The HTTP reference stays negative (predominantly outside the
+    # blackhole).
+    assert result.notes["http_woe_mean"] < 0.0

@@ -1,0 +1,42 @@
+"""E-F14: local explainability (Fig. 14a/14b).
+
+Paper shape: the ML model and the rule tags decide coherently for the
+bulk of records (paper: 70.9 %); coherent positive decisions come with
+tagging rules to explain them; WoE distributions differ between true
+and false positives (FPs sit at lower WoE).
+"""
+
+import numpy as np
+
+from repro.experiments import fig14_explainability
+
+
+def test_fig14_explainability(run_experiment):
+    result = run_experiment(fig14_explainability)
+    print()
+    print(result.summary())
+
+    assert result.notes["coherent_share"] > 0.6
+    assert result.notes["explained_share"] > 0.6
+
+    # Fig. 14b: TP records show stronger (or equal) WoE than FP records
+    # on the top features — FPs drift towards neutral evidence.
+    medians_tp = {
+        r["metric"].split("/", 1)[1]: r["value"]
+        for r in result.rows
+        if r["metric"].startswith("woe_median_tp/")
+    }
+    medians_fp = {
+        r["metric"].split("/", 1)[1]: r["value"]
+        for r in result.rows
+        if r["metric"].startswith("woe_median_fp/")
+    }
+    assert medians_tp
+    comparable = [
+        (medians_tp[k], medians_fp[k])
+        for k in medians_tp
+        if k in medians_fp and not (np.isnan(medians_tp[k]) or np.isnan(medians_fp[k]))
+    ]
+    if comparable:
+        lower = sum(1 for tp, fp in comparable if fp <= tp + 0.25)
+        assert lower >= len(comparable) / 2

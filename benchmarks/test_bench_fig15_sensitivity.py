@@ -1,0 +1,33 @@
+"""E-F15: rule-minimisation sensitivity over the Lc/Ls grid (Fig. 15).
+
+Paper shape: higher loss thresholds remove more rules, but pushing
+beyond Lc = Ls = 0.01 yields little extra reduction — the basis for
+choosing 0.01/0.01.
+"""
+
+from repro.experiments import fig15_sensitivity
+
+
+def test_fig15_sensitivity(run_experiment):
+    result = run_experiment(fig15_sensitivity)
+    print()
+    print(result.summary())
+
+    counts = {(row["Lc"], row["Ls"]): row["remaining_rules"] for row in result.rows}
+
+    # Monotone: higher thresholds never keep more rules.
+    grid = sorted({lc for lc, _ in counts})
+    for i, lc in enumerate(grid):
+        for j, ls in enumerate(grid):
+            if i + 1 < len(grid):
+                assert counts[(grid[i + 1], ls)] <= counts[(lc, ls)]
+            if j + 1 < len(grid):
+                assert counts[(lc, grid[j + 1])] <= counts[(lc, ls)]
+
+    # All settings reduce the input rule set substantially.
+    assert max(counts.values()) < result.notes["input_rules"]
+
+    # Diminishing returns beyond 0.01 (upper-right quadrant flattens).
+    strictest_saving = counts[(grid[0], grid[0])] - counts[(0.01, 0.01)]
+    beyond_saving = counts[(0.01, 0.01)] - counts[(0.1, 0.1)]
+    assert beyond_saving <= max(strictest_saving, 5)

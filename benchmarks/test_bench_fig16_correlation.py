@@ -1,0 +1,27 @@
+"""E-F16: aggregation-induced correlation + PCA (Fig. 16a/16b).
+
+Paper shape: a substantial share of metric column pairs correlates
+strongly (~20 % above 0.7/0.8); a few dozen principal components
+explain 0.8 of the variance, ~50 nearly all of it.
+"""
+
+from repro.experiments import fig16_correlation
+
+
+def test_fig16_correlation(run_experiment):
+    result = run_experiment(fig16_correlation)
+    print()
+    print(result.summary())
+
+    for metric in ("packet_size", "bytes", "packets"):
+        row = next(r for r in result.rows if r["analysis"] == f"spearman/{metric}")
+        assert row["share_above_0.7"] > 0.1, metric
+
+    # PCA: strong compressibility of the 150 deliberately redundant
+    # columns.
+    assert result.notes["components_for_0.8_variance"] <= 60
+    assert result.notes["components_for_0.99_variance"] <= 120
+    assert (
+        result.notes["components_for_0.8_variance"]
+        < result.notes["components_for_0.99_variance"]
+    )

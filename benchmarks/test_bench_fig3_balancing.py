@@ -1,0 +1,21 @@
+"""E-F3: blackholing share CDF + balancing validation (Fig. 3a/3c)."""
+
+from repro.experiments import fig3_balancing
+
+
+def test_fig3_balancing(run_experiment):
+    result = run_experiment(fig3_balancing)
+    print()
+    print(result.summary())
+
+    # Fig. 3a shape: blackholed traffic is a tiny share of total bytes —
+    # never above ~1 % in any bin, below 0.1 % in the bulk of bins.
+    assert result.notes["max_share_any_ixp"] < 0.015
+    for row in result.rows:
+        assert row["median_share"] < 0.002
+        assert row["share_below_0.1pct"] > 0.5
+
+    # Fig. 3c shape: flows/IP of the two classes clearly correlate
+    # (paper: Pearson r = 0.77 at p < 0.01).
+    assert result.notes["pearson_r_all"] > 0.5
+    assert result.notes["pearson_p_all"] < 0.01

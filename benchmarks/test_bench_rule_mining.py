@@ -1,0 +1,20 @@
+"""E-R1: rule-mining funnel (§5.1.1: 7859 -> 1469 -> 367 shape)."""
+
+from repro.experiments import rule_mining
+
+
+def test_rule_mining_funnel(run_experiment):
+    result = run_experiment(rule_mining)
+    print()
+    print(result.summary())
+
+    counts = [row["rules"] for row in result.rows]
+    all_rules, blackhole_rules, minimized = counts
+
+    # Funnel shape: each stage is a significant reduction; the final set
+    # is small enough for manual curation.
+    assert all_rules > blackhole_rules > minimized
+    assert result.notes["stage1_reduction"] > 0.5   # paper: 0.81
+    assert result.notes["stage2_reduction"] > 0.5   # paper: 0.75
+    assert minimized < 500
+    assert minimized > 10

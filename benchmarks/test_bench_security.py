@@ -1,0 +1,33 @@
+"""E-SEC: Appendix E poisoning attack and WoE-override defense.
+
+Paper shape (argued, not measured, in Appendix E): influencing a
+feature's WoE requires traffic volumes comparable to the legitimate
+carrier of that feature, and operators can neutralise any poisoned
+feature by pinning its WoE.
+"""
+
+from repro.experiments import security
+
+
+def test_security_poisoning(run_experiment):
+    result = run_experiment(security)
+    print()
+    print(result.summary())
+
+    rows_plain = [r for r in result.rows if r["defense"] == "none"]
+
+    # Poison raises the HTTPS WoE monotonically-ish with volume ...
+    woe_by_fraction = {r["poison_fraction"]: r["woe_https"] for r in rows_plain}
+    fractions = sorted(woe_by_fraction)
+    assert woe_by_fraction[fractions[-1]] > woe_by_fraction[0]
+
+    # ... but even 20 % of the training corpus only drags it to ~neutral:
+    # flipping a popular feature is expensive (Appendix E's argument).
+    assert result.notes["max_woe_https"] < 1.0
+
+    # The classifier stays robust overall (multi-feature decisions), and
+    # the override defense keeps the clean-traffic FPR bounded.
+    for row in result.rows:
+        assert row["fbeta_clean_test"] > 0.9
+        assert row["fpr_clean_test"] < 0.1
+    assert result.notes["defended_fpr_at_worst"] < 0.1

@@ -1,0 +1,21 @@
+"""E-T2: dataset overview (Table 2)."""
+
+import numpy as np
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_datasets(run_experiment):
+    result = run_experiment(table2_datasets)
+    print()
+    print(result.summary())
+
+    # Table 2 shape: every balanced set sits near 50:50 (paper's worst
+    # deviation is 5.4 %), and balancing discards > 99.6 % of raw flows.
+    assert result.notes["max_share_deviation_pct"] < 8.0
+    assert result.notes["min_reduction_pct"] > 99.6
+
+    # Ordering: raw volume follows IXP size (CE1 largest).
+    ixp_rows = [r for r in result.rows if r["ixp"].startswith("IXP")]
+    volumes = [r["raw_data_gb"] for r in ixp_rows]
+    assert volumes[0] == max(volumes)

@@ -1,0 +1,58 @@
+"""E-T3: model comparison (Table 3 / Table 5).
+
+Paper shape: all models reach high scores; XGB tops the table
+(Fβ = 0.989) with the lowest fnr; DT is the weakest of the main group;
+NB-C/NB-M fall below the main group; NB-B is worst; the dummy ~0.5; the
+RBC reaches a strong SAS score without any learned classifier.
+"""
+
+import numpy as np
+
+from repro.experiments import table3_models
+
+
+def _row(result, model):
+    return next(r for r in result.rows if r["model"] == model)
+
+
+def test_table3_models(run_experiment):
+    result = run_experiment(table3_models)
+    print()
+    print(result.summary())
+
+    # Headline: XGB wins (and is therefore the recommended model).
+    assert result.notes["best_model"] == "XGB"
+    xgb = _row(result, "XGB")
+    assert xgb["fbeta"] > 0.95
+
+    # Full ordering shape of Table 5.
+    main_group = [_row(result, m)["fbeta"] for m in ("XGB", "NN", "LSVM", "NB-G", "DT")]
+    assert min(main_group) > 0.9
+    assert _row(result, "DT")["fbeta"] <= max(main_group)
+    for weak in ("NB-C", "NB-M"):
+        assert _row(result, weak)["fbeta"] < xgb["fbeta"]
+    nb_b = _row(result, "NB-B")
+    assert nb_b["fbeta"] == min(
+        _row(result, m)["fbeta"] for m in ("XGB", "NN", "LSVM", "NB-G", "DT", "NB-C", "NB-M", "NB-B")
+    )
+
+    # Dummy baseline: a coin toss.
+    dum = _row(result, "DUM")
+    assert abs(dum["fbeta"] - 0.5) < 0.1
+
+    # Per-vector columns: high scores for every major vector (paper:
+    # "all models perform equally well for all shown attack vectors").
+    for vector in ("DNS", "NTP", "SNMP", "LDAP", "SSDP"):
+        value = xgb[vector]
+        if not np.isnan(value):
+            assert value > 0.9, vector
+
+    # SAS column: XGB transfers to the out-of-distribution ground truth;
+    # the RBC achieves a strong score from rules alone (paper: 0.917);
+    # the dummy stays at chance.
+    assert xgb["fbeta_sas"] > 0.9
+    assert _row(result, "RBC")["fbeta_sas"] > 0.75
+    assert abs(_row(result, "DUM")["fbeta_sas"] - 0.5) < 0.1
+
+    # Prediction cost was measured for the real models.
+    assert xgb["mcc"] > 0.0

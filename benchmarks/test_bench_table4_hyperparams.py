@@ -1,0 +1,24 @@
+"""E-T4: hyperparameter grid search (Table 4, Appendix C)."""
+
+from repro.experiments import table4_hyperparams
+
+
+def test_table4_hyperparams(run_experiment):
+    result = run_experiment(table4_hyperparams)
+    print()
+    print(result.summary())
+
+    by_model = {row["model"]: row for row in result.rows}
+    assert set(by_model) == set(table4_hyperparams.GRIDS)
+
+    # Every grid was fully evaluated and produced a usable model.
+    for name, row in by_model.items():
+        expected_points = 1
+        for values in table4_hyperparams.GRIDS[name].values():
+            expected_points *= len(values)
+        assert row["grid_points"] == expected_points, name
+        assert row["cv_fbeta"] > 0.6, name
+
+    # The tuned tree-family and linear models reach high CV scores.
+    for name in ("XGB", "DT", "LSVM", "NB-G"):
+        assert by_model[name]["cv_fbeta"] > 0.9, name

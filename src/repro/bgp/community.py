@@ -1,0 +1,58 @@
+"""BGP community attributes, including the RFC 7999 BLACKHOLE community.
+
+A standard BGP community is a 32-bit value conventionally written as
+``ASN:value``. RFC 7999 reserves ``65535:666`` as the well-known
+BLACKHOLE community; IXPs additionally use route-server specific
+communities (e.g. ``<rs-asn>:666``) which member tooling treats as
+equivalent blackhole signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Community:
+    """A standard 32-bit BGP community, ``asn:value``."""
+
+    asn: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= 0xFFFF:
+            raise ValueError(f"community ASN out of range: {self.asn}")
+        if not 0 <= self.value <= 0xFFFF:
+            raise ValueError(f"community value out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Community":
+        """Parse ``"asn:value"``."""
+        asn_text, sep, value_text = text.partition(":")
+        if not sep:
+            raise ValueError(f"malformed community: {text!r}")
+        return cls(asn=int(asn_text), value=int(value_text))
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+
+#: RFC 7999 well-known BLACKHOLE community.
+BLACKHOLE = Community(asn=65535, value=666)
+
+#: Conventional blackhole value used in operator-specific communities.
+BLACKHOLE_VALUE = 666
+
+
+def is_blackhole_community(community: Community) -> bool:
+    """True if ``community`` signals blackholing.
+
+    Accepts the RFC 7999 well-known community and the widespread
+    ``<asn>:666`` operator convention.
+    """
+    return community == BLACKHOLE or community.value == BLACKHOLE_VALUE
+
+
+def has_blackhole_signal(communities: frozenset[Community] | set[Community]) -> bool:
+    """True if any community in the set signals blackholing."""
+    return any(is_blackhole_community(c) for c in communities)

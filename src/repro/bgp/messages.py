@@ -1,0 +1,48 @@
+"""BGP UPDATE messages as exchanged via the IXP route server.
+
+Only the attributes relevant to blackhole capture are modelled:
+prefix (NLRI), origin ASN, AS path, communities, and the announcement
+timestamp. Withdrawals reference the prefix and origin only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community, has_blackhole_signal
+from repro.bgp.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A BGP route announcement received by the route server."""
+
+    prefix: Prefix
+    origin_asn: int
+    time: int
+    as_path: tuple[int, ...] = ()
+    communities: frozenset[Community] = field(default_factory=frozenset)
+    next_hop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.origin_asn <= 0:
+            raise ValueError("origin ASN must be positive")
+        if self.as_path and self.as_path[-1] != self.origin_asn:
+            raise ValueError("AS path must end at the origin ASN")
+
+    @property
+    def is_blackhole(self) -> bool:
+        """True if this announcement carries a blackhole community."""
+        return has_blackhole_signal(self.communities)
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """A BGP route withdrawal."""
+
+    prefix: Prefix
+    origin_asn: int
+    time: int
+
+
+Update = Announcement | Withdrawal

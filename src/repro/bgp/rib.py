@@ -1,0 +1,65 @@
+"""A minimal Routing Information Base (RIB).
+
+The RIB tracks the currently active route per (prefix, origin) pair as
+seen by the IXP route server, applying announcements and withdrawals in
+timestamp order. It is the substrate on which the
+:class:`~repro.bgp.blackhole.BlackholeRegistry` observes blackhole state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.bgp.prefix import Prefix
+
+
+class RoutingInformationBase:
+    """Route-server view of announced prefixes.
+
+    Multiple origins may announce the same prefix (anycast, mitigation
+    hand-off); the RIB keeps one active route per (prefix, origin).
+    """
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[Prefix, int], Announcement] = {}
+        self._last_time: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def apply(self, update: Update) -> None:
+        """Apply one announcement or withdrawal.
+
+        Updates must arrive in non-decreasing timestamp order; this mirrors
+        a live BGP feed and keeps registry observers consistent.
+        """
+        if self._last_time is not None and update.time < self._last_time:
+            raise ValueError(
+                f"out-of-order BGP update at t={update.time} (last {self._last_time})"
+            )
+        self._last_time = update.time
+        key = (update.prefix, update.origin_asn)
+        if isinstance(update, Announcement):
+            self._routes[key] = update
+        elif isinstance(update, Withdrawal):
+            self._routes.pop(key, None)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown update type: {type(update)!r}")
+
+    def apply_all(self, updates: Iterable[Update]) -> None:
+        """Apply a sequence of updates in order."""
+        for update in updates:
+            self.apply(update)
+
+    def routes(self) -> list[Announcement]:
+        """All currently active routes."""
+        return list(self._routes.values())
+
+    def routes_for_prefix(self, prefix: Prefix) -> list[Announcement]:
+        """Active routes for exactly ``prefix`` (any origin)."""
+        return [a for (p, _), a in self._routes.items() if p == prefix]
+
+    def blackhole_routes(self) -> list[Announcement]:
+        """Active routes carrying a blackhole community."""
+        return [a for a in self._routes.values() if a.is_blackhole]

@@ -1,0 +1,66 @@
+"""Command-line interface.
+
+``ixp-scrubber list`` shows the available experiments;
+``ixp-scrubber run <id> [--scale small|paper]`` executes one (or
+``all``) and prints its tables and headline notes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, SCALES
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name, module in EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:10s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'ixp-scrubber list'", file=sys.stderr)
+        return 2
+    for target in targets:
+        start = time.perf_counter()
+        result = EXPERIMENTS[target].run(scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(result.summary())
+        if args.plots and result.series:
+            from repro.experiments.plots import render_series
+
+            print(render_series(result.series))
+        print(f"[{target} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ixp-scrubber",
+        description="IXP Scrubber reproduction (SIGCOMM 2022) experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id or 'all'")
+    run_parser.add_argument(
+        "--scale", choices=SCALES, default="small", help="corpus scale"
+    )
+    run_parser.add_argument(
+        "--plots", action="store_true", help="render series as ASCII sparklines"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the two-step IXP Scrubber model."""
+
+from repro.core.drift import (
+    TemporalSeries,
+    TransferMatrix,
+    geographic_transfer,
+    one_shot_evaluation,
+    reflector_overlap_matrix,
+    sliding_window_evaluation,
+)
+from repro.core.explain import (
+    Explanation,
+    FeatureEvidence,
+    OverlapReport,
+    explain_record,
+    rule_overlap,
+    woe_distributions_by_outcome,
+)
+from repro.core.scrubber import IXPScrubber, ScrubberConfig, TargetVerdict
+
+__all__ = [
+    "Explanation",
+    "FeatureEvidence",
+    "IXPScrubber",
+    "OverlapReport",
+    "ScrubberConfig",
+    "TargetVerdict",
+    "TemporalSeries",
+    "TransferMatrix",
+    "explain_record",
+    "geographic_transfer",
+    "one_shot_evaluation",
+    "reflector_overlap_matrix",
+    "rule_overlap",
+    "sliding_window_evaluation",
+    "woe_distributions_by_outcome",
+]

@@ -1,0 +1,28 @@
+"""Feature encoding: WoE, numeric transformers, PCA, matrix assembly."""
+
+from repro.core.encoding.matrix import FeatureMatrix, assemble, feature_columns
+from repro.core.encoding.pca import PCA, explained_variance_curve
+from repro.core.encoding.transforms import (
+    FeatureReducer,
+    Imputer,
+    MinMaxNormalizer,
+    Standardizer,
+    Transformer,
+)
+from repro.core.encoding.woe import UNKNOWN_WOE, WoEEncoder, WoETable
+
+__all__ = [
+    "FeatureMatrix",
+    "FeatureReducer",
+    "Imputer",
+    "MinMaxNormalizer",
+    "PCA",
+    "Standardizer",
+    "Transformer",
+    "UNKNOWN_WOE",
+    "WoEEncoder",
+    "WoETable",
+    "assemble",
+    "explained_variance_curve",
+    "feature_columns",
+]

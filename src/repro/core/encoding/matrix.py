@@ -1,0 +1,60 @@
+"""Assembling aggregated records into model-ready matrices.
+
+The feature matrix has one column per feature of the aggregation schema:
+the 75 categorical key columns pass through the fitted
+:class:`~repro.core.encoding.woe.WoEEncoder`, the 75 metric value
+columns stay numeric (NaN for absent ranks — imputation happens inside
+the model pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoding.woe import WoEEncoder
+from repro.core.features import schema
+from repro.core.features.aggregation import AggregatedDataset
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """A dense float matrix plus its column names and labels."""
+
+    X: np.ndarray
+    y: np.ndarray
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError("X / y length mismatch")
+        if self.X.shape[1] != len(self.columns):
+            raise ValueError("X width / columns mismatch")
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    def column_index(self, name: str) -> int:
+        return self.columns.index(name)
+
+
+def feature_columns() -> tuple[str, ...]:
+    """Canonical column order: WoE-encoded keys, then metric values."""
+    return tuple(schema.key_columns() + schema.value_columns())
+
+
+def assemble(data: AggregatedDataset, woe: WoEEncoder) -> FeatureMatrix:
+    """Build the 150-column feature matrix for aggregated records."""
+    if not woe.is_fitted:
+        raise RuntimeError("WoE encoder must be fitted before assembling")
+    columns = feature_columns()
+    n = len(data)
+    X = np.empty((n, len(columns)), dtype=np.float64)
+    encoded = woe.transform(data)
+    for j, name in enumerate(columns):
+        if name in data.categorical:
+            X[:, j] = encoded[name]
+        else:
+            X[:, j] = data.metrics[name]
+    return FeatureMatrix(X=X, y=data.labels.astype(np.int64), columns=columns)

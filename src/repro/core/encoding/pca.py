@@ -1,0 +1,60 @@
+"""Principal component analysis via SVD.
+
+Used by the neural-network pipeline (Fig. 8) to compress the redundant
+rank features, and by the Appendix B analysis of aggregation-induced
+correlation (explained-variance curve, Fig. 16b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoding.transforms import Transformer
+
+
+class PCA(Transformer):
+    """Project onto the top ``n_components`` principal components."""
+
+    def __init__(self, n_components: int):
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[0] < 2:
+            raise ValueError("PCA needs at least two samples")
+        k = min(self.n_components, X.shape[1], X.shape[0])
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # SVD of the (centered) data matrix; rows of Vt are components.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        variances = singular_values**2 / max(X.shape[0] - 1, 1)
+        total = variances.sum()
+        ratio = variances / total if total > 0 else np.zeros_like(variances)
+        self.components_ = vt[:k]
+        self.explained_variance_ratio_ = ratio[:k]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) @ self.components_.T
+
+
+def explained_variance_curve(X: np.ndarray, max_components: int | None = None) -> np.ndarray:
+    """Cumulative explained-variance ratio over component count.
+
+    The Fig. 16b curve: ``result[k]`` is the variance share explained by
+    the first ``k+1`` components.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    k = min(X.shape[0], X.shape[1])
+    if max_components is not None:
+        k = min(k, max_components)
+    pca = PCA(n_components=k).fit(X)
+    assert pca.explained_variance_ratio_ is not None
+    return np.cumsum(pca.explained_variance_ratio_)

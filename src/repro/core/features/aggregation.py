@@ -1,0 +1,227 @@
+"""Flow -> per-target record aggregation (paper §5.2.1, Fig. 7).
+
+Flows are grouped by (one-minute bin, target IP). Within each group,
+every categorical property is ranked by every metric; the top-``RANKS``
+keys and their metric values become the record's features. A record is
+labeled blackhole when any of its flows carries the blackhole label.
+Matched tagging rules are carried through aggregation as annotations
+(they explain classifications later and feed the RBC baseline — they are
+*not* classifier features, which would leak the label construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import schema
+from repro.core.rules.matcher import match_matrix
+from repro.core.rules.model import TaggingRule
+from repro.netflow.dataset import BIN_SECONDS, FlowDataset
+
+
+@dataclass
+class AggregatedDataset:
+    """Per-(bin, target IP) records with rank features.
+
+    ``categorical`` maps key-column names to int64 arrays
+    (``schema.MISSING_KEY`` marks absent ranks); ``metrics`` maps
+    value-column names to float64 arrays (NaN marks absent ranks).
+    """
+
+    bins: np.ndarray
+    targets: np.ndarray
+    labels: np.ndarray
+    categorical: dict[str, np.ndarray]
+    metrics: dict[str, np.ndarray]
+    n_flows: np.ndarray
+    #: Per-record tuple of tagging-rule ids matched by any flow.
+    rule_tags: Optional[list[tuple[str, ...]]] = None
+
+    def __post_init__(self) -> None:
+        n = self.bins.shape[0]
+        for name, arr in [("targets", self.targets), ("labels", self.labels), ("n_flows", self.n_flows)]:
+            if arr.shape[0] != n:
+                raise ValueError(f"column {name} length mismatch")
+        for mapping in (self.categorical, self.metrics):
+            for name, arr in mapping.items():
+                if arr.shape[0] != n:
+                    raise ValueError(f"column {name} length mismatch")
+        if self.rule_tags is not None and len(self.rule_tags) != n:
+            raise ValueError("rule_tags length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.bins.shape[0])
+
+    @property
+    def feature_names(self) -> list[str]:
+        return list(self.categorical) + list(self.metrics)
+
+    def select(self, mask_or_index: np.ndarray) -> "AggregatedDataset":
+        """Subset records by boolean mask or index array."""
+        idx = np.asarray(mask_or_index)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        tags = None
+        if self.rule_tags is not None:
+            tags = [self.rule_tags[i] for i in idx]
+        return AggregatedDataset(
+            bins=self.bins[idx],
+            targets=self.targets[idx],
+            labels=self.labels[idx],
+            categorical={k: v[idx] for k, v in self.categorical.items()},
+            metrics={k: v[idx] for k, v in self.metrics.items()},
+            n_flows=self.n_flows[idx],
+            rule_tags=tags,
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["AggregatedDataset"]) -> "AggregatedDataset":
+        """Concatenate aggregated datasets with identical schemas."""
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        if len(parts) == 1:
+            return parts[0]
+        first = parts[0]
+        tags: Optional[list[tuple[str, ...]]] = None
+        if all(p.rule_tags is not None for p in parts):
+            tags = [t for p in parts for t in p.rule_tags]  # type: ignore[union-attr]
+        return cls(
+            bins=np.concatenate([p.bins for p in parts]),
+            targets=np.concatenate([p.targets for p in parts]),
+            labels=np.concatenate([p.labels for p in parts]),
+            categorical={
+                k: np.concatenate([p.categorical[k] for p in parts]) for k in first.categorical
+            },
+            metrics={
+                k: np.concatenate([p.metrics[k] for p in parts]) for k in first.metrics
+            },
+            n_flows=np.concatenate([p.n_flows for p in parts]),
+            rule_tags=tags,
+        )
+
+    def time_split(self, boundary_bin: int) -> tuple["AggregatedDataset", "AggregatedDataset"]:
+        """Split records into (before, from) ``boundary_bin``."""
+        before = self.bins < boundary_bin
+        return self.select(before), self.select(~before)
+
+    @property
+    def blackhole_share(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.labels.mean())
+
+
+def _rank_group(
+    keys: np.ndarray,
+    bytes_: np.ndarray,
+    packets: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate one categorical within one record.
+
+    Returns (unique keys, per-key bytes, per-key packets, per-key mean
+    packet size). The mean packet size per key is byte-weighted
+    (total bytes / total packets), which is what a flow exporter's
+    counters support.
+    """
+    unique, inverse = np.unique(keys, return_inverse=True)
+    key_bytes = np.bincount(inverse, weights=bytes_)
+    key_packets = np.bincount(inverse, weights=packets)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        key_size = np.where(key_packets > 0, key_bytes / key_packets, 0.0)
+    return unique, key_bytes, key_packets, key_size
+
+
+def aggregate(
+    flows: FlowDataset,
+    rules: Sequence[TaggingRule] = (),
+    bin_seconds: int = BIN_SECONDS,
+) -> AggregatedDataset:
+    """Aggregate labeled flows into per-(bin, target) rank features."""
+    n = len(flows)
+    if n == 0:
+        raise ValueError("cannot aggregate an empty flow dataset")
+
+    bins = flows.time_bin(bin_seconds)
+    dst = flows.dst_ip
+
+    # Group by (bin, target): sort once, then slice per group.
+    order = np.lexsort((dst, bins))
+    bins_s = bins[order]
+    dst_s = dst[order]
+    boundaries = np.flatnonzero((np.diff(bins_s) != 0) | (np.diff(dst_s) != 0)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [n]])
+    n_groups = starts.shape[0]
+
+    cat_values = {
+        "src_ip": flows.src_ip[order].astype(np.int64),
+        "src_port": flows.src_port[order].astype(np.int64),
+        "dst_port": flows.dst_port[order].astype(np.int64),
+        "src_mac": flows.src_mac[order].astype(np.int64),
+        "protocol": flows.protocol[order].astype(np.int64),
+    }
+    f_bytes = flows.bytes[order].astype(np.float64)
+    f_packets = flows.packets[order].astype(np.float64)
+    labels_s = flows.blackhole[order]
+
+    rule_matrix = None
+    rule_ids: list[str] = []
+    if rules:
+        rule_matrix = match_matrix(rules, flows)[order]
+        rule_ids = [r.rule_id for r in rules]
+
+    r = schema.RANKS
+    categorical = {
+        name: np.full(n_groups, schema.MISSING_KEY, dtype=np.int64)
+        for name in schema.key_columns()
+    }
+    metrics = {
+        name: np.full(n_groups, np.nan, dtype=np.float64)
+        for name in schema.value_columns()
+    }
+    out_bins = np.empty(n_groups, dtype=np.int64)
+    out_targets = np.empty(n_groups, dtype=np.uint32)
+    out_labels = np.empty(n_groups, dtype=bool)
+    out_nflows = np.empty(n_groups, dtype=np.int64)
+    out_tags: Optional[list[tuple[str, ...]]] = [] if rules else None
+
+    metric_arrays = {}
+    for g in range(n_groups):
+        lo, hi = int(starts[g]), int(ends[g])
+        out_bins[g] = bins_s[lo]
+        out_targets[g] = dst_s[lo]
+        out_labels[g] = bool(labels_s[lo:hi].any())
+        out_nflows[g] = hi - lo
+        if out_tags is not None:
+            hit = rule_matrix[lo:hi].any(axis=0)
+            out_tags.append(tuple(rule_ids[k] for k in np.flatnonzero(hit)))
+
+        g_bytes = f_bytes[lo:hi]
+        g_packets = f_packets[lo:hi]
+        for cat in schema.CATEGORICALS:
+            unique, key_bytes, key_packets, key_size = _rank_group(
+                cat_values[cat][lo:hi], g_bytes, g_packets
+            )
+            metric_arrays["bytes"] = key_bytes
+            metric_arrays["packets"] = key_packets
+            metric_arrays["packet_size"] = key_size
+            for metric in schema.METRICS:
+                values = metric_arrays[metric]
+                top = np.argsort(values, kind="stable")[::-1][:r]
+                for rank, idx in enumerate(top):
+                    categorical[schema.key_column(cat, metric, rank)][g] = unique[idx]
+                    metrics[schema.value_column(cat, metric, rank)][g] = values[idx]
+
+    return AggregatedDataset(
+        bins=out_bins,
+        targets=out_targets,
+        labels=out_labels,
+        categorical=categorical,
+        metrics=metrics,
+        n_flows=out_nflows,
+        rule_tags=out_tags,
+    )

@@ -1,0 +1,80 @@
+"""Feature schema of the aggregation step (paper §5.2.1, Fig. 7).
+
+Per (one-minute bin, target IP) record, each categorical flow property
+is ranked by each non-categorical metric with ``RANKS`` ranks. Every
+(categorical, metric, rank) cell yields two columns: the categorical
+*key* at that rank and the aggregated metric *value* — 5 x 3 x 5 x 2
+= 150 feature columns, matching the paper.
+
+Column naming follows the paper's Fig. 10 notation
+``categorical/metric/rank`` for the key column, with ``/value``
+appended for the metric column.
+"""
+
+from __future__ import annotations
+
+#: Categorical flow properties C (paper: source IPs, source port,
+#: destination port, source MAC address, transport protocol).
+CATEGORICALS: tuple[str, ...] = (
+    "src_ip",
+    "src_port",
+    "dst_port",
+    "src_mac",
+    "protocol",
+)
+
+#: Non-categorical metrics M (paper: mean packet size, sum of bytes,
+#: sum of packets).
+METRICS: tuple[str, ...] = ("packet_size", "bytes", "packets")
+
+#: Ranking resolution r.
+RANKS = 5
+
+#: Sentinel for a missing categorical key (fewer distinct values than
+#: ranks in a record).
+MISSING_KEY = -1
+
+
+def key_column(categorical: str, metric: str, rank: int) -> str:
+    """Name of the categorical-key column for one ranking cell."""
+    return f"{categorical}/{metric}/{rank}"
+
+
+def value_column(categorical: str, metric: str, rank: int) -> str:
+    """Name of the metric-value column for one ranking cell."""
+    return f"{categorical}/{metric}/{rank}/value"
+
+
+def key_columns() -> list[str]:
+    """All categorical-key column names, in canonical order."""
+    return [
+        key_column(c, m, r)
+        for c in CATEGORICALS
+        for m in METRICS
+        for r in range(RANKS)
+    ]
+
+
+def value_columns() -> list[str]:
+    """All metric-value column names, in canonical order."""
+    return [
+        value_column(c, m, r)
+        for c in CATEGORICALS
+        for m in METRICS
+        for r in range(RANKS)
+    ]
+
+
+def all_columns() -> list[str]:
+    """All 150 feature columns (keys then values)."""
+    return key_columns() + value_columns()
+
+
+def parse_column(name: str) -> tuple[str, str, int, bool]:
+    """Decompose a column name into (categorical, metric, rank, is_value)."""
+    parts = name.split("/")
+    if len(parts) == 4 and parts[3] == "value":
+        return parts[0], parts[1], int(parts[2]), True
+    if len(parts) == 3:
+        return parts[0], parts[1], int(parts[2]), False
+    raise ValueError(f"malformed feature column name: {name!r}")

@@ -1,0 +1,24 @@
+"""Deriving flow labels from the BGP blackhole feed.
+
+Thin convenience layer over
+:meth:`repro.bgp.blackhole.BlackholeRegistry.label_flows`: takes a raw
+:class:`~repro.traffic.workload.WorkloadCapture` and returns its flows
+with the crowdsourced ``blackhole`` label set.
+"""
+
+from __future__ import annotations
+
+from repro.netflow.dataset import FlowDataset
+from repro.traffic.workload import WorkloadCapture
+
+
+def label_capture(capture: WorkloadCapture) -> FlowDataset:
+    """Label a capture's flows from its own BGP feed.
+
+    A flow is labeled ``blackhole=True`` when its destination address was
+    covered by an active blackhole announcement at the flow timestamp.
+    This is the paper's "crowdsourced labeling": the label is *unwanted
+    by the receiving network*, not *verified attack* — downstream steps
+    (balancing, rule tagging) deal with the label noise.
+    """
+    return capture.labeled_flows()

@@ -1,0 +1,239 @@
+"""CART decision tree with histogram split search.
+
+Supports the hyperparameters of the paper's grid (Appendix C, Table 4):
+``ccp_alpha`` (minimal cost-complexity pruning), ``min_impurity_decrease``,
+``min_samples_leaf`` and ``min_samples_split``, plus ``max_depth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.models.base import Classifier, check_fit_inputs
+from repro.core.models.binning import DEFAULT_MAX_BINS, QuantileBinner
+
+
+@dataclass
+class _Node:
+    n: int
+    value: float  # P(y=1) in this node
+    impurity: float  # gini
+    feature: Optional[int] = None
+    threshold: float = 0.0  # raw-value threshold; left: x <= threshold
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.leaves() + self.right.leaves()
+
+
+def _gini(pos: float, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree(Classifier):
+    """Binary CART classifier (gini impurity, histogram splits)."""
+
+    name = "DT"
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 5,
+        min_impurity_decrease: float = 0.0,
+        ccp_alpha: float = 0.0,
+        max_bins: int = DEFAULT_MAX_BINS,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if ccp_alpha < 0:
+            raise ValueError("ccp_alpha must be non-negative")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.ccp_alpha = ccp_alpha
+        self.max_bins = max_bins
+        self._binner = QuantileBinner(max_bins)
+        self.root_: Optional[_Node] = None
+        self._n_train = 0
+
+    def get_params(self) -> dict[str, object]:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_impurity_decrease": self.min_impurity_decrease,
+            "ccp_alpha": self.ccp_alpha,
+        }
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X, y = check_fit_inputs(X, y)
+        binned = self._binner.fit_transform(X)
+        self._n_train = X.shape[0]
+        index = np.arange(X.shape[0])
+        self.root_ = self._build(binned, y.astype(np.float64), index, depth=0)
+        if self.ccp_alpha > 0:
+            self._prune(self.root_)
+        return self
+
+    def _build(
+        self, binned: np.ndarray, y: np.ndarray, index: np.ndarray, depth: int
+    ) -> _Node:
+        n = index.shape[0]
+        pos = float(y[index].sum())
+        node = _Node(n=n, value=pos / n, impurity=_gini(pos, n))
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or pos == 0.0
+            or pos == n
+        ):
+            return node
+
+        best_gain = 0.0
+        best: Optional[tuple[int, int]] = None  # (feature, bin)
+        parent_impurity = node.impurity
+        sub = binned[index]
+        y_sub = y[index]
+        for j in range(binned.shape[1]):
+            bins = sub[:, j]
+            n_bins = self._binner.n_bins(j)
+            if n_bins < 2:
+                continue
+            total_hist = np.bincount(bins, minlength=n_bins).astype(np.float64)
+            pos_hist = np.bincount(bins, weights=y_sub, minlength=n_bins)
+            left_n = np.cumsum(total_hist)[:-1]
+            left_pos = np.cumsum(pos_hist)[:-1]
+            right_n = n - left_n
+            right_pos = pos - left_pos
+            valid = (left_n >= self.min_samples_leaf) & (right_n >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_l = np.where(left_n > 0, left_pos / left_n, 0.0)
+                p_r = np.where(right_n > 0, right_pos / right_n, 0.0)
+            gini_l = 2.0 * p_l * (1.0 - p_l)
+            gini_r = 2.0 * p_r * (1.0 - p_r)
+            weighted = (left_n * gini_l + right_n * gini_r) / n
+            # Impurity decrease weighted by node share of the training
+            # set (sklearn's min_impurity_decrease convention).
+            gain = (n / self._n_train) * (parent_impurity - weighted)
+            gain[~valid] = -np.inf
+            k = int(np.argmax(gain))
+            if gain[k] > best_gain and gain[k] >= self.min_impurity_decrease:
+                best_gain = float(gain[k])
+                best = (j, k)
+
+        if best is None:
+            return node
+        feature, split_bin = best
+        go_left = sub[:, feature] <= split_bin
+        node.feature = feature
+        node.threshold = self._binner.threshold(feature, split_bin)
+        node.left = self._build(binned, y, index[go_left], depth + 1)
+        node.right = self._build(binned, y, index[~go_left], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def _prune(self, root: _Node) -> None:
+        """Minimal cost-complexity pruning at ``ccp_alpha``."""
+
+        def node_cost(node: _Node) -> float:
+            # Misclassification cost share of this node acting as a leaf.
+            err = min(node.value, 1.0 - node.value)
+            return err * node.n / self._n_train
+
+        def subtree_cost_leaves(node: _Node) -> tuple[float, int]:
+            if node.is_leaf:
+                return node_cost(node), 1
+            assert node.left is not None and node.right is not None
+            cl, ll = subtree_cost_leaves(node.left)
+            cr, lr = subtree_cost_leaves(node.right)
+            return cl + cr, ll + lr
+
+        while True:
+            weakest: Optional[tuple[float, _Node]] = None
+
+            def visit(node: _Node) -> None:
+                nonlocal weakest
+                if node.is_leaf:
+                    return
+                subtree_cost, leaves = subtree_cost_leaves(node)
+                if leaves > 1:
+                    g = (node_cost(node) - subtree_cost) / (leaves - 1)
+                    if weakest is None or g < weakest[0]:
+                        weakest = (g, node)
+                assert node.left is not None and node.right is not None
+                visit(node.left)
+                visit(node.right)
+
+            visit(root)
+            if weakest is None or weakest[0] > self.ccp_alpha:
+                break
+            _, node = weakest
+            node.left = None
+            node.right = None
+            node.feature = None
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("DecisionTree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        index = np.arange(X.shape[0])
+        self._apply(self.root_, X, index, out)
+        return out
+
+    def _apply(self, node: _Node, X: np.ndarray, index: np.ndarray, out: np.ndarray) -> None:
+        if index.shape[0] == 0:
+            return
+        if node.is_leaf:
+            out[index] = node.value
+            return
+        assert node.left is not None and node.right is not None and node.feature is not None
+        go_left = X[index, node.feature] <= node.threshold
+        self._apply(node.left, X, index[go_left], out)
+        self._apply(node.right, X, index[~go_left], out)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    @property
+    def n_leaves(self) -> int:
+        if self.root_ is None:
+            raise RuntimeError("DecisionTree is not fitted")
+        return self.root_.leaves()
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self.root_ is None:
+            raise RuntimeError("DecisionTree is not fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)

@@ -1,0 +1,128 @@
+"""Multi-label prediction of tagging rules (paper §5.2.2, future work).
+
+The paper notes: "It might be possible to use multiclass classification
+to predict the tagging rules and use them as ACLs directly instead.
+This would remove the need to apply rule tags to flows for prediction,
+but might lead to a less interpretable model."
+
+This module implements that extension as a one-vs-rest bank of
+gradient-boosted trees: for each curated tagging rule, a binary model
+predicts from the per-target features whether the rule *would* match
+the target's traffic. At prediction time the matching step of Step 1
+can then be skipped — the ACLs to install come straight from the
+classifier bank — at the interpretability cost the paper warns about
+(the predicted tags are model output, not observed header matches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoding.matrix import assemble
+from repro.core.encoding.woe import WoEEncoder
+from repro.core.features.aggregation import AggregatedDataset
+from repro.core.models.pipeline import ModelPipeline, make_pipeline
+
+
+@dataclass(frozen=True)
+class RulePredictionReport:
+    """Per-rule evaluation of predicted vs observed tags."""
+
+    rule_id: str
+    support: int  # observed matches in the evaluation set
+    precision: float
+    recall: float
+
+
+class RuleTagPredictor:
+    """One-vs-rest prediction of tagging-rule matches per target record.
+
+    Training data must carry rule annotations
+    (``AggregatedDataset.rule_tags``, produced by aggregating with a
+    rule set). Rules observed fewer than ``min_support`` times are not
+    modelled (their predictions would be noise) and never predicted.
+    """
+
+    def __init__(self, min_support: int = 10, **model_params: object):
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.min_support = min_support
+        # Per-rule positives are scarce, so default to lighter
+        # regularisation than the corpus-scale GBT defaults; explicit
+        # kwargs still win.
+        self._model_params: dict[str, object] = {
+            "min_child_weight": 1.0,
+            "reg_lambda": 1.0,
+        }
+        self._model_params.update(model_params)
+        self.woe: WoEEncoder | None = None
+        self._models: dict[str, ModelPipeline] = {}
+
+    @property
+    def modelled_rules(self) -> tuple[str, ...]:
+        return tuple(sorted(self._models))
+
+    @staticmethod
+    def _tag_matrix(data: AggregatedDataset) -> dict[str, np.ndarray]:
+        if data.rule_tags is None:
+            raise ValueError(
+                "AggregatedDataset carries no rule annotations; aggregate "
+                "with the curated rule set first"
+            )
+        out: dict[str, np.ndarray] = {}
+        for i, tags in enumerate(data.rule_tags):
+            for tag in tags:
+                out.setdefault(tag, np.zeros(len(data), dtype=np.int64))[i] = 1
+        return out
+
+    def fit(self, data: AggregatedDataset) -> "RuleTagPredictor":
+        """Fit one binary model per sufficiently-observed rule."""
+        tag_labels = self._tag_matrix(data)
+        self.woe = WoEEncoder().fit(data)
+        matrix = assemble(data, self.woe)
+        self._models = {}
+        for rule_id, labels in tag_labels.items():
+            positives = int(labels.sum())
+            if positives < self.min_support or positives == len(data):
+                continue
+            pipeline = make_pipeline("XGB", **self._model_params)
+            pipeline.fit(matrix.X, labels)
+            self._models[rule_id] = pipeline
+        return self
+
+    def predict_tags(self, data: AggregatedDataset) -> list[tuple[str, ...]]:
+        """Predicted rule ids per record (sorted for determinism)."""
+        if self.woe is None:
+            raise RuntimeError("RuleTagPredictor is not fitted")
+        matrix = assemble(data, self.woe)
+        votes: dict[str, np.ndarray] = {
+            rule_id: model.predict(matrix.X).astype(bool)
+            for rule_id, model in self._models.items()
+        }
+        out: list[tuple[str, ...]] = []
+        for i in range(len(data)):
+            out.append(tuple(sorted(r for r, v in votes.items() if v[i])))
+        return out
+
+    def evaluate(self, data: AggregatedDataset) -> list[RulePredictionReport]:
+        """Score predicted tags against observed annotations."""
+        observed = self._tag_matrix(data)
+        predicted = self.predict_tags(data)
+        reports = []
+        for rule_id in self.modelled_rules:
+            truth = observed.get(rule_id, np.zeros(len(data), dtype=np.int64)).astype(bool)
+            guess = np.asarray([rule_id in tags for tags in predicted], dtype=bool)
+            tp = int((truth & guess).sum())
+            fp = int((~truth & guess).sum())
+            fn = int((truth & ~guess).sum())
+            reports.append(
+                RulePredictionReport(
+                    rule_id=rule_id,
+                    support=int(truth.sum()),
+                    precision=tp / (tp + fp) if tp + fp else 0.0,
+                    recall=tp / (tp + fn) if tp + fn else 0.0,
+                )
+            )
+        return reports

@@ -1,0 +1,164 @@
+"""Rendering tagging rules as deployable filters.
+
+The paper positions accepted rules as ACLs "applied directly to the
+hardware" for dropping, shaping, monitoring or re-routing (§5, §5.1).
+This module renders a :class:`~repro.core.rules.model.TaggingRule` into
+two concrete formats:
+
+* **BGP FlowSpec** (RFC 8955) textual NLRI — the natural dissemination
+  mechanism at an IXP route server: a match on destination prefix,
+  protocol, source port, destination port and packet length, plus a
+  ``traffic-rate 0`` (discard) or rate-limit action;
+* a generic **ACL line** in the familiar firewall style, for devices
+  without FlowSpec support.
+
+Negated port sets (``~{...}``) exceed FlowSpec's match semantics when
+large; the renderer inverts small sets into explicit ranges and
+otherwise omits the component (conservative: match more, not less),
+flagging the rule as widened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.bgp.prefix import Prefix
+from repro.core.rules.model import PortMatch, TaggingRule
+from repro.netflow.fields import PROTOCOL_NAMES
+
+#: Above this many values, a negated set is not expanded into ranges.
+MAX_INVERTED_RANGES = 16
+
+
+@dataclass(frozen=True)
+class FlowSpecRule:
+    """One rendered FlowSpec rule."""
+
+    nlri: str
+    action: str
+    #: True when a negated port set could not be represented exactly and
+    #: the match was widened (the filter matches a superset).
+    widened: bool
+    source_rule_id: str
+
+    def render(self) -> str:
+        suffix = "  # widened match" if self.widened else ""
+        return f"{self.nlri} then {self.action}{suffix}"
+
+
+def _ranges_from_negation(match: PortMatch) -> Optional[list[tuple[int, int]]]:
+    """Invert a negated port set into inclusive ranges, if small enough."""
+    excluded = sorted(match.values)
+    ranges: list[tuple[int, int]] = []
+    low = 0
+    for port in excluded:
+        if port > low:
+            ranges.append((low, port - 1))
+        low = port + 1
+    if low <= 0xFFFF:
+        ranges.append((low, 0xFFFF))
+    if len(ranges) > MAX_INVERTED_RANGES:
+        return None
+    return ranges
+
+
+def _port_component(name: str, match: Optional[PortMatch]) -> tuple[Optional[str], bool]:
+    """FlowSpec component text for a port match; (text, widened)."""
+    if match is None:
+        return None, False
+    if not match.negated:
+        values = sorted(match.values)
+        return f"{name} " + "|".join(f"={v}" for v in values), False
+    ranges = _ranges_from_negation(match)
+    if ranges is None:
+        return None, True  # widen: drop the component entirely
+    parts = [f"={lo}" if lo == hi else f">={lo}&<={hi}" for lo, hi in ranges]
+    return f"{name} " + "|".join(parts), False
+
+
+def to_flowspec(
+    rule: TaggingRule,
+    destination: Optional[Prefix] = None,
+    rate_limit_bps: Optional[int] = None,
+) -> FlowSpecRule:
+    """Render one tagging rule as a FlowSpec rule.
+
+    ``destination`` scopes the filter to a victim prefix (a verdict's
+    target); ``rate_limit_bps`` switches the action from discard to a
+    rate limit.
+    """
+    components: list[str] = []
+    widened = False
+    if destination is not None:
+        components.append(f"match destination {destination}")
+    else:
+        components.append("match")
+    if rule.protocol is not None:
+        components.append(f"protocol ={rule.protocol}")
+    text, was_widened = _port_component("source-port", rule.port_src)
+    widened |= was_widened
+    if text:
+        components.append(text)
+    text, was_widened = _port_component("destination-port", rule.port_dst)
+    widened |= was_widened
+    if text:
+        components.append(text)
+    if rule.packet_size is not None:
+        low, high = rule.packet_size
+        components.append(f"packet-length >={low + 1}&<={high}")
+    action = (
+        "traffic-rate 0"
+        if rate_limit_bps is None
+        else f"traffic-rate {rate_limit_bps}"
+    )
+    return FlowSpecRule(
+        nlri=" ".join(components),
+        action=action,
+        widened=widened,
+        source_rule_id=rule.rule_id,
+    )
+
+
+def to_acl_line(rule: TaggingRule, action: str = "deny") -> str:
+    """Render one tagging rule as a generic firewall ACL line."""
+    protocol = (
+        PROTOCOL_NAMES.get(rule.protocol, str(rule.protocol)).lower()
+        if rule.protocol is not None
+        else "ip"
+    )
+    def port_text(match: Optional[PortMatch]) -> str:
+        if match is None:
+            return "any"
+        body = ",".join(str(v) for v in sorted(match.values))
+        return f"not-in {{{body}}}" if match.negated else f"eq {{{body}}}"
+
+    parts = [
+        action,
+        protocol,
+        "from any",
+        f"src-port {port_text(rule.port_src)}",
+        "to any",
+        f"dst-port {port_text(rule.port_dst)}",
+    ]
+    if rule.packet_size is not None:
+        parts.append(f"length {rule.packet_size[0] + 1}-{rule.packet_size[1]}")
+    parts.append(f"; rule {rule.rule_id} conf {rule.confidence:.3f}")
+    return " ".join(parts)
+
+
+def export_flowspec(
+    rules: Iterable[TaggingRule],
+    destination: Optional[Prefix] = None,
+    rate_limit_bps: Optional[int] = None,
+) -> list[FlowSpecRule]:
+    """Render a rule collection as FlowSpec, skipping nothing."""
+    return [
+        to_flowspec(rule, destination=destination, rate_limit_bps=rate_limit_bps)
+        for rule in rules
+    ]
+
+
+def export_acl(rules: Iterable[TaggingRule], action: str = "deny") -> list[str]:
+    """Render a rule collection as ACL lines."""
+    return [to_acl_line(rule, action=action) for rule in rules]

@@ -1,0 +1,139 @@
+"""Item encoding: flows -> transactions for association rule mining.
+
+Association rule mining operates on *transactions* (sets of categorical
+items). A sampled flow becomes a transaction of header items::
+
+    {protocol=17, port_src=123, port_dst=OTHER, packet_size=(400,500]}
+    + the class item (blackhole / benign)
+
+Transport ports are high-cardinality, so only ports that are *popular*
+in the mining data keep their identity; everything else collapses into
+an ``OTHER`` category. When a rule's antecedent contains ``OTHER``, its
+ACL rendering is the negation of the popular port set — which is exactly
+the ``~{0,17,19,21,...}`` notation of the paper's released rules
+(Fig. 6, Appendix F).
+
+Packet sizes are binned into 100-byte intervals, rendered ``(400,500]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.netflow.dataset import FlowDataset
+
+#: Attribute names, in canonical order.
+ATTRIBUTES = ("protocol", "port_src", "port_dst", "packet_size")
+
+#: Class-label attribute.
+LABEL_ATTRIBUTE = "label"
+LABEL_BLACKHOLE = (LABEL_ATTRIBUTE, "blackhole")
+LABEL_BENIGN = (LABEL_ATTRIBUTE, "benign")
+
+#: Sentinel value for the collapsed port category.
+OTHER = "OTHER"
+
+#: Width of packet-size bins in bytes.
+PACKET_SIZE_BIN = 100
+
+#: An item is an (attribute, value) pair; values are ints, bin labels or
+#: the ``OTHER`` sentinel.
+Item = tuple[str, object]
+
+
+def packet_size_bin_label(size: float) -> str:
+    """Map a mean packet size to its bin label, e.g. ``"(400,500]"``."""
+    if size <= 0:
+        raise ValueError("packet size must be positive")
+    upper = int(np.ceil(size / PACKET_SIZE_BIN)) * PACKET_SIZE_BIN
+    return f"({upper - PACKET_SIZE_BIN},{upper}]"
+
+
+def parse_packet_size_bin(label: str) -> tuple[int, int]:
+    """Inverse of :func:`packet_size_bin_label`: ``"(400,500]"`` -> (400, 500)."""
+    if not (label.startswith("(") and label.endswith("]")):
+        raise ValueError(f"malformed packet size bin: {label!r}")
+    low_text, _, high_text = label[1:-1].partition(",")
+    return int(low_text), int(high_text)
+
+
+@dataclass(frozen=True)
+class ItemEncoder:
+    """Holds the popular-port vocabularies learned from mining data.
+
+    ``src_ports`` / ``dst_ports`` are the ports that keep their identity;
+    all other ports map to ``OTHER``. The sets are needed again at
+    matching time to give ``OTHER`` its negated-set ACL semantics.
+    """
+
+    src_ports: frozenset[int]
+    dst_ports: frozenset[int]
+
+    @classmethod
+    def fit(
+        cls,
+        flows: FlowDataset,
+        top_k: int = 40,
+        min_share: float = 0.001,
+    ) -> "ItemEncoder":
+        """Learn popular port vocabularies from ``flows``.
+
+        A port is popular when it is among the ``top_k`` most frequent
+        ports of its direction *and* carries at least ``min_share`` of
+        flows.
+        """
+        if len(flows) == 0:
+            return cls(src_ports=frozenset(), dst_ports=frozenset())
+
+        def popular(ports: np.ndarray) -> frozenset[int]:
+            values, counts = np.unique(ports, return_counts=True)
+            order = np.argsort(counts)[::-1][:top_k]
+            threshold = max(1, int(min_share * ports.shape[0]))
+            return frozenset(int(v) for v, c in zip(values[order], counts[order]) if c >= threshold)
+
+        return cls(popular(flows.src_port), popular(flows.dst_port))
+
+    def encode(self, flows: FlowDataset) -> list[tuple[Item, ...]]:
+        """Encode each flow as a transaction (without the class item)."""
+        protocols = flows.protocol
+        src_ports = flows.src_port
+        dst_ports = flows.dst_port
+        sizes = flows.packet_size
+        out: list[tuple[Item, ...]] = []
+        for i in range(len(flows)):
+            src: object = int(src_ports[i]) if int(src_ports[i]) in self.src_ports else OTHER
+            dst: object = int(dst_ports[i]) if int(dst_ports[i]) in self.dst_ports else OTHER
+            out.append(
+                (
+                    ("protocol", int(protocols[i])),
+                    ("port_src", src),
+                    ("port_dst", dst),
+                    ("packet_size", packet_size_bin_label(float(sizes[i]))),
+                )
+            )
+        return out
+
+    def encode_labeled(self, flows: FlowDataset) -> list[tuple[Item, ...]]:
+        """Encode flows including the class item from the blackhole label."""
+        transactions = self.encode(flows)
+        labels = flows.blackhole
+        return [
+            t + (LABEL_BLACKHOLE if labels[i] else LABEL_BENIGN,)
+            for i, t in enumerate(transactions)
+        ]
+
+
+def deduplicate(
+    transactions: list[tuple[Item, ...]],
+) -> list[tuple[tuple[Item, ...], int]]:
+    """Collapse identical transactions into (transaction, weight) pairs.
+
+    Flow header combinations repeat massively; weighting makes FP-Growth
+    run on the distinct combinations only.
+    """
+    counts: dict[tuple[Item, ...], int] = {}
+    for t in transactions:
+        key = tuple(sorted(t))
+        counts[key] = counts.get(key, 0) + 1
+    return list(counts.items())

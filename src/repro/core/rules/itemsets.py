@@ -1,0 +1,158 @@
+"""FP-Growth frequent itemset mining (Han, Pei, Yin, SIGMOD 2000).
+
+The paper mines tagging-rule candidates with FP-Growth ([33], §5.1.1).
+This is a from-scratch implementation supporting weighted transactions
+(so deduplicated flow transactions mine efficiently).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, Optional
+
+Item = Hashable
+Transaction = tuple[Item, ...]
+
+
+class _FPNode:
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: Optional[Item], parent: Optional["_FPNode"]):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[Item, _FPNode] = {}
+        self.link: Optional[_FPNode] = None
+
+
+class _FPTree:
+    """Prefix tree over frequency-ordered transactions."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(None, None)
+        self.header: dict[Item, _FPNode] = {}
+        self.counts: dict[Item, int] = defaultdict(int)
+
+    def insert(self, items: Iterable[Item], weight: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                # Prepend to the header link chain for this item.
+                child.link = self.header.get(item)
+                self.header[item] = child
+            child.count += weight
+            self.counts[item] += weight
+            node = child
+
+    def node_chain(self, item: Item) -> list[_FPNode]:
+        nodes = []
+        node = self.header.get(item)
+        while node is not None:
+            nodes.append(node)
+            node = node.link
+        return nodes
+
+    def prefix_paths(self, item: Item) -> list[tuple[list[Item], int]]:
+        """Conditional pattern base for ``item``: (path, count) pairs."""
+        paths = []
+        for node in self.node_chain(item):
+            path: list[Item] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            path.reverse()
+            if path:
+                paths.append((path, node.count))
+        return paths
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+
+def _build_tree(
+    weighted: list[tuple[Transaction, int]], min_count: int
+) -> _FPTree:
+    frequency: dict[Item, int] = defaultdict(int)
+    for items, weight in weighted:
+        for item in set(items):
+            frequency[item] += weight
+    frequent = {i for i, c in frequency.items() if c >= min_count}
+
+    tree = _FPTree()
+    for items, weight in weighted:
+        filtered = [i for i in set(items) if i in frequent]
+        # Order by global frequency desc, ties broken deterministically.
+        filtered.sort(key=lambda i: (-frequency[i], repr(i)))
+        if filtered:
+            tree.insert(filtered, weight)
+    return tree
+
+
+def _mine(
+    tree: _FPTree,
+    suffix: frozenset[Item],
+    min_count: int,
+    out: dict[frozenset[Item], int],
+    max_len: Optional[int],
+) -> None:
+    # Iterate items from least to most frequent (standard FP-Growth order).
+    items = sorted(tree.counts, key=lambda i: (tree.counts[i], repr(i)))
+    for item in items:
+        support = tree.counts[item]
+        if support < min_count:
+            continue
+        itemset = suffix | {item}
+        out[frozenset(itemset)] = support
+        if max_len is not None and len(itemset) >= max_len:
+            continue
+        conditional = _build_tree(
+            [(tuple(path), count) for path, count in tree.prefix_paths(item)],
+            min_count,
+        )
+        if not conditional.is_empty:
+            _mine(conditional, frozenset(itemset), min_count, out, max_len)
+
+
+def fp_growth(
+    transactions: list[tuple[Transaction, int]],
+    min_support: float,
+    max_len: Optional[int] = None,
+) -> dict[frozenset[Item], int]:
+    """Mine frequent itemsets from weighted transactions.
+
+    Parameters
+    ----------
+    transactions:
+        (transaction, weight) pairs; see
+        :func:`repro.core.rules.items.deduplicate`.
+    min_support:
+        Minimum support as a fraction of the total transaction weight.
+    max_len:
+        Optional cap on itemset size.
+
+    Returns
+    -------
+    dict mapping each frequent itemset (frozenset) to its absolute
+    support count.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    total = sum(weight for _, weight in transactions)
+    if total == 0:
+        return {}
+    min_count = max(1, int(min_support * total + 0.5))
+    tree = _build_tree(transactions, min_count)
+    out: dict[frozenset[Item], int] = {}
+    if not tree.is_empty:
+        _mine(tree, frozenset(), min_count, out, max_len)
+    return out
+
+
+def total_weight(transactions: list[tuple[Transaction, int]]) -> int:
+    """Sum of transaction weights (the dataset size for support ratios)."""
+    return sum(weight for _, weight in transactions)

@@ -1,0 +1,82 @@
+"""Vectorised matching of tagging rules against flow datasets.
+
+Used in three places: annotating flows for feature aggregation (rule
+tags survive into the per-target records, §5.2), the rule-based baseline
+classifier (RBC, §5.2.2), and rendering ACL hit statistics for operators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rules.model import PortMatch, TaggingRule
+from repro.netflow.dataset import FlowDataset
+
+
+def _port_mask(match: PortMatch, ports: np.ndarray) -> np.ndarray:
+    inside = np.isin(ports, np.fromiter(match.values, dtype=np.uint32))
+    return ~inside if match.negated else inside
+
+
+def rule_mask(rule: TaggingRule, flows: FlowDataset) -> np.ndarray:
+    """Boolean mask of flows matching one rule."""
+    mask = np.ones(len(flows), dtype=bool)
+    if rule.protocol is not None:
+        mask &= flows.protocol == rule.protocol
+    if rule.port_src is not None:
+        mask &= _port_mask(rule.port_src, flows.src_port)
+    if rule.port_dst is not None:
+        mask &= _port_mask(rule.port_dst, flows.dst_port)
+    if rule.packet_size is not None:
+        low, high = rule.packet_size
+        sizes = flows.packet_size
+        mask &= (sizes > low) & (sizes <= high)
+    return mask
+
+
+def match_matrix(rules: Sequence[TaggingRule], flows: FlowDataset) -> np.ndarray:
+    """(n_flows, n_rules) boolean matrix of rule matches."""
+    if not rules:
+        return np.zeros((len(flows), 0), dtype=bool)
+    return np.stack([rule_mask(rule, flows) for rule in rules], axis=1)
+
+
+def match_any(rules: Sequence[TaggingRule], flows: FlowDataset) -> np.ndarray:
+    """Per-flow boolean: does any rule match?"""
+    mask = np.zeros(len(flows), dtype=bool)
+    for rule in rules:
+        mask |= rule_mask(rule, flows)
+    return mask
+
+
+def matched_rule_ids(
+    rules: Sequence[TaggingRule], flows: FlowDataset
+) -> list[tuple[str, ...]]:
+    """Per-flow tuple of matching rule ids (for annotation/explanation)."""
+    matrix = match_matrix(rules, flows)
+    ids = [rule.rule_id for rule in rules]
+    out: list[tuple[str, ...]] = []
+    for row in matrix:
+        out.append(tuple(ids[k] for k in np.flatnonzero(row)))
+    return out
+
+
+def coverage(
+    rules: Sequence[TaggingRule], flows: FlowDataset
+) -> dict[str, float]:
+    """Evaluate an ACL set against ground-truth labeled flows.
+
+    Returns the share of attack flows dropped (recall on the positive
+    class) and the share of benign flows dropped (collateral), the two
+    quantities of the operator study (§5.1.3).
+    """
+    labels = flows.blackhole
+    hits = match_any(rules, flows)
+    n_attack = int(labels.sum())
+    n_benign = int((~labels).sum())
+    return {
+        "attack_dropped": float((hits & labels).sum() / n_attack) if n_attack else 0.0,
+        "benign_dropped": float((hits & ~labels).sum() / n_benign) if n_benign else 0.0,
+    }

@@ -1,0 +1,82 @@
+"""JSON import/export of tagging rules.
+
+Follows the shape of the paper's released rule list (Appendix F,
+github.com/DE-CIX/ripe84-learning-acls): one JSON object per rule with
+header fields, confidence and antecedent support. Port sets use the
+``~{...}`` negation notation; wildcards serialise as ``"*"``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.rules.model import PortMatch, RuleSet, RuleStatus, TaggingRule
+
+
+def rule_to_dict(rule: TaggingRule) -> dict[str, Any]:
+    """Serialise one rule to its JSON object."""
+    return {
+        "id": rule.rule_id,
+        "protocol": rule.protocol if rule.protocol is not None else "*",
+        "port_src": rule.port_src.render() if rule.port_src is not None else "*",
+        "port_dst": rule.port_dst.render() if rule.port_dst is not None else "*",
+        "packet_size": (
+            f"({rule.packet_size[0]},{rule.packet_size[1]}]"
+            if rule.packet_size is not None
+            else "*"
+        ),
+        "confidence": round(rule.confidence, 5),
+        "antecedent_support": round(rule.support, 5),
+        "rule_status": rule.status.value,
+        "notes": rule.notes,
+    }
+
+
+def rule_from_dict(data: dict[str, Any]) -> TaggingRule:
+    """Parse one rule from its JSON object."""
+    def port(value: Any) -> PortMatch | None:
+        if value == "*" or value is None:
+            return None
+        if isinstance(value, int):
+            return PortMatch(values=frozenset({value}))
+        return PortMatch.parse(str(value))
+
+    packet_size = None
+    raw_size = data.get("packet_size", "*")
+    if raw_size not in ("*", None):
+        text = str(raw_size)
+        if not (text.startswith("(") and text.endswith("]")):
+            raise ValueError(f"malformed packet_size: {text!r}")
+        low, _, high = text[1:-1].partition(",")
+        packet_size = (int(low), int(high))
+
+    protocol = data.get("protocol", "*")
+    return TaggingRule(
+        rule_id=str(data["id"]),
+        confidence=float(data["confidence"]),
+        support=float(data.get("antecedent_support", data.get("support", 0.0))),
+        protocol=None if protocol in ("*", None) else int(protocol),
+        port_src=port(data.get("port_src", "*")),
+        port_dst=port(data.get("port_dst", "*")),
+        packet_size=packet_size,
+        status=RuleStatus(data.get("rule_status", "staging")),
+        notes=str(data.get("notes", "")),
+    )
+
+
+def dump_rules(rules: Iterable[TaggingRule], path: str | Path) -> None:
+    """Write rules to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [rule_to_dict(r) for r in rules]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_rules(path: str | Path) -> RuleSet:
+    """Read a rule set from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError("rule file must contain a JSON array")
+    return RuleSet(rule_from_dict(obj) for obj in payload)

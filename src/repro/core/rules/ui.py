@@ -1,0 +1,90 @@
+"""Text rendering of the rule-curation UI (paper Fig. 6).
+
+The paper's operators review mined rules in a web table showing header
+fields, confidence, antecedent support, status and notes, with sorting
+and filtering. This module renders the same view as aligned text for
+terminals and reports, with the UI's column sorting and status
+filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.rules.model import RuleSet, RuleStatus, TaggingRule
+
+#: Column definitions: header -> value extractor.
+_COLUMNS: dict[str, Callable[[TaggingRule], str]] = {
+    "id": lambda r: r.rule_id,
+    "protocol": lambda r: str(r.protocol) if r.protocol is not None else "*",
+    "port_src": lambda r: r.port_src.render() if r.port_src else "*",
+    "port_dst": lambda r: r.port_dst.render() if r.port_dst else "*",
+    "packet_size": lambda r: (
+        f"({r.packet_size[0]},{r.packet_size[1]}]" if r.packet_size else "*"
+    ),
+    "confidence": lambda r: f"{r.confidence:.5f}",
+    "support": lambda r: f"{r.support:.5f}",
+    "status": lambda r: r.status.value,
+    "notes": lambda r: r.notes,
+}
+
+#: Sort keys available to the UI (mirroring its sortable columns).
+_SORT_KEYS: dict[str, Callable[[TaggingRule], object]] = {
+    "id": lambda r: r.rule_id,
+    "confidence": lambda r: -r.confidence,
+    "support": lambda r: -r.support,
+    "protocol": lambda r: r.protocol if r.protocol is not None else -1,
+    "status": lambda r: r.status.value,
+}
+
+
+def _truncate(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: width - 3] + "..."
+
+
+def render_rule_table(
+    rules: RuleSet | Iterable[TaggingRule],
+    sort_by: str = "support",
+    status: Optional[RuleStatus] = None,
+    limit: Optional[int] = None,
+    max_cell_width: int = 28,
+) -> str:
+    """Render rules as an aligned text table.
+
+    ``sort_by`` picks one of the UI's sortable columns; ``status``
+    filters to one curation state; ``limit`` caps the row count.
+    """
+    if sort_by not in _SORT_KEYS:
+        raise ValueError(f"sort_by must be one of {sorted(_SORT_KEYS)}")
+    selected = [r for r in rules if status is None or r.status == status]
+    selected.sort(key=_SORT_KEYS[sort_by])
+    if limit is not None:
+        selected = selected[:limit]
+
+    headers = list(_COLUMNS)
+    body = [
+        [_truncate(extractor(rule), max_cell_width) for extractor in _COLUMNS.values()]
+        for rule in selected
+    ]
+    widths = [
+        max(len(headers[j]), *(len(row[j]) for row in body)) if body else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if not body:
+        lines.append("(no rules)")
+    return "\n".join(lines)
+
+
+def curation_summary(rules: RuleSet) -> str:
+    """One-line status overview, e.g. ``34 accepted / 12 staging / 3 declined``."""
+    return (
+        f"{len(rules.accepted())} accepted / "
+        f"{len(rules.staged())} staging / "
+        f"{len(rules.declined())} declined"
+    )

@@ -1,0 +1,190 @@
+"""The IXP Scrubber: two-step ML system (paper §5, Fig. 5).
+
+Step 1 mines and curates flow-tagging rules (ACL candidates); Step 2
+aggregates flows into per-target records, encodes categoricals as Weight
+of Evidence, and classifies each (minute, target IP) as under attack or
+benign. The fitted system produces predictions, ACLs for the positive
+records, and local explanations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.encoding.matrix import FeatureMatrix, assemble
+from repro.core.encoding.woe import WoEEncoder
+from repro.core.features.aggregation import AggregatedDataset, aggregate
+from repro.core.models.pipeline import ModelPipeline, make_pipeline
+from repro.core.rules.items import ItemEncoder
+from repro.core.rules.minimize import minimize_rules
+from repro.core.rules.mining import mine_rules
+from repro.core.rules.model import RuleSet, RuleStatus, TaggingRule
+from repro.netflow.dataset import BIN_SECONDS, FlowDataset
+
+
+@dataclass(frozen=True)
+class ScrubberConfig:
+    """Configuration of one IXP Scrubber instance."""
+
+    model: str = "XGB"
+    model_params: dict[str, object] = field(default_factory=dict)
+    #: ARM minimum support / confidence (§5.1.1).
+    min_support: float = 0.0005
+    min_confidence: float = 0.8
+    #: Algorithm 1 loss thresholds (Appendix A: 0.01 / 0.01).
+    confidence_loss: float = 0.01
+    support_loss: float = 0.01
+    #: Auto-accept mined rules (skip interactive curation). Operators
+    #: would normally review in the UI; experiments auto-accept.
+    auto_accept_rules: bool = True
+    bin_seconds: int = BIN_SECONDS
+
+
+@dataclass(frozen=True)
+class TargetVerdict:
+    """Classification outcome for one (minute bin, target IP) record."""
+
+    bin: int
+    target_ip: int
+    is_ddos: bool
+    score: float
+    matched_rules: tuple[str, ...]
+
+
+class IXPScrubber:
+    """End-to-end two-step DDoS detector for one vantage point."""
+
+    def __init__(self, config: ScrubberConfig | None = None):
+        self.config = config or ScrubberConfig()
+        self.rule_set: RuleSet = RuleSet()
+        self.item_encoder: Optional[ItemEncoder] = None
+        self.woe = WoEEncoder()
+        self.pipeline: Optional[ModelPipeline] = None
+
+    # ------------------------------------------------------------------
+    # Step 1
+    # ------------------------------------------------------------------
+    def mine_tagging_rules(self, flows: FlowDataset) -> RuleSet:
+        """Mine, minimise and stage tagging rules from balanced flows."""
+        result = mine_rules(
+            flows,
+            min_support=self.config.min_support,
+            min_confidence=self.config.min_confidence,
+        )
+        minimized = minimize_rules(
+            result.blackhole_rules,
+            confidence_loss=self.config.confidence_loss,
+            support_loss=self.config.support_loss,
+        )
+        self.item_encoder = result.encoder
+        fresh = RuleSet.from_mining(minimized, result.encoder)
+        if self.config.auto_accept_rules:
+            for rule in fresh:
+                fresh.set_status(rule.rule_id, RuleStatus.ACCEPT)
+        # Merge into any existing curated set (grows over time, §5.1.2).
+        self.rule_set = self.rule_set.merge(fresh)
+        return self.rule_set
+
+    @property
+    def accepted_rules(self) -> list[TaggingRule]:
+        return self.rule_set.accepted()
+
+    # ------------------------------------------------------------------
+    # Step 2
+    # ------------------------------------------------------------------
+    def aggregate_flows(self, flows: FlowDataset) -> AggregatedDataset:
+        """Aggregate flows to per-target records, annotating rule tags."""
+        return aggregate(
+            flows, rules=self.accepted_rules, bin_seconds=self.config.bin_seconds
+        )
+
+    def fit_aggregated(self, data: AggregatedDataset) -> "IXPScrubber":
+        """Fit WoE and the classifier pipeline on aggregated records."""
+        self.woe = WoEEncoder().fit(data)
+        matrix = assemble(data, self.woe)
+        self.pipeline = make_pipeline(self.config.model, **self.config.model_params)
+        self.pipeline.fit(matrix.X, matrix.y)
+        return self
+
+    def fit(self, balanced_flows: FlowDataset) -> "IXPScrubber":
+        """Full training: mine rules, aggregate, fit WoE + classifier."""
+        self.mine_tagging_rules(balanced_flows)
+        data = self.aggregate_flows(balanced_flows)
+        return self.fit_aggregated(data)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> ModelPipeline:
+        if self.pipeline is None:
+            raise RuntimeError("IXPScrubber is not fitted")
+        return self.pipeline
+
+    def feature_matrix(self, data: AggregatedDataset) -> FeatureMatrix:
+        """Assemble the WoE-encoded feature matrix for records."""
+        return assemble(data, self.woe)
+
+    def predict_aggregated(self, data: AggregatedDataset) -> np.ndarray:
+        """Predict labels (0/1) for aggregated records."""
+        pipeline = self._require_fitted()
+        return pipeline.predict(self.feature_matrix(data).X)
+
+    def score_aggregated(self, data: AggregatedDataset) -> np.ndarray:
+        """P(DDoS) per aggregated record."""
+        pipeline = self._require_fitted()
+        return pipeline.predict_proba(self.feature_matrix(data).X)
+
+    def predict_flows(self, flows: FlowDataset) -> list[TargetVerdict]:
+        """Classify raw flows end-to-end into per-target verdicts."""
+        data = self.aggregate_flows(flows)
+        scores = self.score_aggregated(data)
+        labels = scores >= 0.5
+        tags = data.rule_tags or [()] * len(data)
+        return [
+            TargetVerdict(
+                bin=int(data.bins[i]),
+                target_ip=int(data.targets[i]),
+                is_ddos=bool(labels[i]),
+                score=float(scores[i]),
+                matched_rules=tags[i],
+            )
+            for i in range(len(data))
+        ]
+
+    def generate_acls(self, verdicts: Sequence[TargetVerdict]) -> list[TaggingRule]:
+        """ACLs to install for positive verdicts (matched accepted rules).
+
+        Only rules that actually matched flows of DDoS-classified targets
+        are returned; for positives without rule matches the operator can
+        still rate-limit by target (paper §6.6).
+        """
+        needed = {
+            rule_id for v in verdicts if v.is_ddos for rule_id in v.matched_rules
+        }
+        return [r for r in self.accepted_rules if r.rule_id in needed]
+
+    # ------------------------------------------------------------------
+    # Model transfer (§6.4)
+    # ------------------------------------------------------------------
+    def transfer_classifier_from(self, other: "IXPScrubber") -> "IXPScrubber":
+        """Adopt another vantage point's classifier, keep local WoE.
+
+        This is the paper's key transfer result: WoE encapsulates local
+        knowledge (reflector IPs, member ports), so moving only the
+        classifier retains performance across geographies.
+        """
+        other_pipeline = other._require_fitted()
+        if not self.woe.is_fitted:
+            raise RuntimeError("local WoE must be fitted before transfer")
+        transferred = IXPScrubber(other.config)
+        transferred.rule_set = self.rule_set
+        transferred.item_encoder = self.item_encoder
+        transferred.woe = self.woe
+        # The numeric transformer chain travels with the classifier (its
+        # fitted feature selection defines the classifier's input
+        # width); only the WoE tables — the local knowledge — stay local.
+        transferred.pipeline = other_pipeline
+        return transferred

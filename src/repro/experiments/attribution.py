@@ -1,0 +1,69 @@
+"""Attributing aggregated records to DDoS attack vectors.
+
+The per-vector columns of Table 3 score each model on the subset of
+records belonging to one attack vector. A record is attributed from its
+ranked source ports: the highest-ranked (by bytes) well-known DDoS port
+determines the vector; records whose attack evidence is dominated by
+port-0 fragments fall into the "UDP Fragm." class, mirroring the
+paper's Fig. 4a taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.features import schema
+from repro.core.features.aggregation import AggregatedDataset
+from repro.netflow.fields import PROTO_GRE, PROTO_UDP, WELL_KNOWN_DDOS_PORTS
+
+#: Table 3's per-vector columns.
+TABLE3_VECTORS = ("UDP Fragm.", "DNS", "NTP", "SNMP", "LDAP", "SSDP", "Apple RD")
+
+_PORT_TO_VECTOR: dict[int, str] = {
+    port: name
+    for (proto, port), name in WELL_KNOWN_DDOS_PORTS.items()
+    if proto == PROTO_UDP and port != 0
+}
+
+
+#: Ranks (by bytes) considered for attribution. Restricting to the
+#: dominant ranks keeps mixed benign records (e.g. one small legitimate
+#: SNMP flow among twenty web flows) out of a vector's subset.
+ATTRIBUTION_RANKS = 3
+
+
+def attribute_records(data: AggregatedDataset) -> list[Optional[str]]:
+    """Vector label per record (``None`` when no DDoS port evidence)."""
+    out: list[Optional[str]] = [None] * len(data)
+    rank_columns = [
+        data.categorical[schema.key_column("src_port", "bytes", r)]
+        for r in range(ATTRIBUTION_RANKS)
+    ]
+    protocols = data.categorical[schema.key_column("protocol", "bytes", 0)]
+    for i in range(len(data)):
+        fragment_seen = False
+        for column in rank_columns:
+            port = int(column[i])
+            if port == schema.MISSING_KEY:
+                continue
+            name = _PORT_TO_VECTOR.get(port)
+            if name is not None:
+                out[i] = name
+                break
+            if port == 0 and int(protocols[i]) in (PROTO_UDP, PROTO_GRE):
+                fragment_seen = True
+        if out[i] is None and fragment_seen:
+            out[i] = "UDP Fragm."
+    return out
+
+
+def vector_masks(
+    data: AggregatedDataset, vectors: tuple[str, ...] = TABLE3_VECTORS
+) -> dict[str, np.ndarray]:
+    """Boolean record masks per vector name."""
+    labels = attribute_records(data)
+    return {
+        v: np.asarray([lab == v for lab in labels], dtype=bool) for v in vectors
+    }

@@ -1,0 +1,126 @@
+"""Corpus builders shared by all experiments.
+
+Builds (and caches) the per-IXP captures, balanced flow sets and
+aggregated record sets the evaluation section consumes. The ``scale``
+knob controls simulated days per vantage point:
+
+* ``small`` — a few days; seconds to build, used by tests/benchmarks.
+* ``paper`` — the scaled-down analogue of the paper's 3-month window
+  (and the 24-month IXP-SE window for Fig. 13).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.features.aggregation import AggregatedDataset, aggregate
+from repro.core.labeling.balancer import BalancedDataset, balance
+from repro.core.rules.model import TaggingRule
+from repro.experiments.common import cached
+from repro.ixp.fabric import IXPFabric
+from repro.ixp.profiles import ALL_PROFILES, IXPProfile, profile_by_name
+from repro.traffic.booter import BooterSimulator, SelfAttackCapture
+from repro.traffic.workload import WorkloadCapture, WorkloadGenerator
+
+#: Simulated days per scale for the ML training corpora.
+DAYS_BY_SCALE = {"small": 6, "paper": 24}
+
+#: Self-attack campaign size per scale.
+SAS_ATTACKS_BY_SCALE = {"small": 60, "paper": 200}
+
+
+def build_capture(
+    profile: IXPProfile,
+    n_days: int,
+    start_day: int = 0,
+    vector_first_seen: Optional[dict[str, int]] = None,
+) -> WorkloadCapture:
+    """Generate one vantage point's capture (cached)."""
+
+    def builder() -> WorkloadCapture:
+        fabric = IXPFabric(profile)
+        generator = WorkloadGenerator(fabric, vector_first_seen=vector_first_seen)
+        return generator.generate(start_day, n_days)
+
+    key = (
+        "capture",
+        profile.name,
+        n_days,
+        start_day,
+        tuple(sorted((vector_first_seen or {}).items())),
+    )
+    return cached(key, builder)
+
+
+def balanced_corpus(
+    profile: IXPProfile, n_days: int, start_day: int = 0
+) -> BalancedDataset:
+    """Labeled + balanced flows for one vantage point (cached)."""
+
+    def builder() -> BalancedDataset:
+        capture = build_capture(profile, n_days, start_day)
+        labeled = capture.labeled_flows()
+        return balance(labeled, np.random.default_rng(profile.seed))
+
+    return cached(("balanced", profile.name, n_days, start_day), builder)
+
+
+def aggregated_corpus(
+    profile: IXPProfile,
+    n_days: int,
+    start_day: int = 0,
+    rules: tuple[TaggingRule, ...] = (),
+) -> AggregatedDataset:
+    """Aggregated per-target records for one vantage point (cached).
+
+    ``rules`` (if given) are annotated during aggregation; the cache key
+    covers their ids.
+    """
+
+    def builder() -> AggregatedDataset:
+        balanced = balanced_corpus(profile, n_days, start_day)
+        return aggregate(balanced.flows, rules=rules)
+
+    rule_key = tuple(sorted(r.rule_id for r in rules))
+    return cached(("aggregated", profile.name, n_days, start_day, rule_key), builder)
+
+
+def all_site_corpora(
+    scale: str, rules: tuple[TaggingRule, ...] = ()
+) -> dict[str, AggregatedDataset]:
+    """Aggregated corpora for all five vantage points."""
+    n_days = DAYS_BY_SCALE[scale]
+    return {
+        profile.name: aggregated_corpus(profile, n_days, rules=rules)
+        for profile in ALL_PROFILES
+    }
+
+
+def merged_corpus(scale: str, rules: tuple[TaggingRule, ...] = ()) -> AggregatedDataset:
+    """The merged five-IXP corpus of Table 3."""
+    return AggregatedDataset.concat(list(all_site_corpora(scale, rules=rules).values()))
+
+
+def self_attack_corpus(scale: str) -> SelfAttackCapture:
+    """The self-attack set (SAS), captured at IXP-CE1 (cached)."""
+
+    def builder() -> SelfAttackCapture:
+        fabric = IXPFabric(profile_by_name("IXP-CE1"))
+        simulator = BooterSimulator(fabric)
+        return simulator.run_campaign(SAS_ATTACKS_BY_SCALE[scale])
+
+    return cached(("sas", scale), builder)
+
+
+def sas_aggregated(scale: str, rules: tuple[TaggingRule, ...] = ()) -> AggregatedDataset:
+    """Aggregated SAS records with ground-truth labels (cached)."""
+
+    def builder() -> AggregatedDataset:
+        sas = self_attack_corpus(scale)
+        balanced = balance(sas.flows, np.random.default_rng(0x5A5))
+        return aggregate(balanced.flows, rules=rules)
+
+    rule_key = tuple(sorted(r.rule_id for r in rules))
+    return cached(("sas-agg", scale, rule_key), builder)

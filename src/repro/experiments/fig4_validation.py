@@ -1,0 +1,99 @@
+"""Experiment E-F4: dataset validation (paper Fig. 4).
+
+* Fig. 4a — share of well-known DDoS ports in three classes: the benign
+  and blackhole halves of the ML training set and the self-attack set.
+  Expected shape: benign ≈ 7.5 %, blackhole ≈ 87.5 %, SAS near 100 %.
+* Fig. 4b — per-vector mean packet sizes, blackhole class vs SAS.
+  Expected shape: similar sizes for every vector except WS-Discovery,
+  which is present in the SAS (booter menu) but nearly absent from
+  blackholing traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.experiments.datasets import (
+    DAYS_BY_SCALE,
+    balanced_corpus,
+    self_attack_corpus,
+)
+from repro.ixp.profiles import ALL_PROFILES
+from repro.netflow.dataset import FlowDataset
+from repro.netflow.fields import ddos_port_label
+
+
+def _ddos_port_flags(flows: FlowDataset) -> np.ndarray:
+    protocols = flows.protocol
+    ports = flows.src_port
+    return np.asarray(
+        [
+            ddos_port_label(int(protocols[i]), int(ports[i])) is not None
+            for i in range(len(flows))
+        ],
+        dtype=bool,
+    )
+
+
+def _vector_sizes(flows: FlowDataset) -> dict[str, np.ndarray]:
+    protocols = flows.protocol
+    ports = flows.src_port
+    sizes = flows.packet_size
+    out: dict[str, list[float]] = {}
+    for i in range(len(flows)):
+        label = ddos_port_label(int(protocols[i]), int(ports[i]))
+        if label is not None:
+            out.setdefault(label, []).append(float(sizes[i]))
+    return {k: np.asarray(v) for k, v in out.items()}
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    check_scale(scale)
+    n_days = DAYS_BY_SCALE[scale]
+    result = ExperimentResult(experiment="fig4-validation")
+
+    merged = FlowDataset.concat(
+        [balanced_corpus(p, n_days).flows for p in ALL_PROFILES]
+    )
+    benign = merged.select(~merged.blackhole)
+    blackhole = merged.select(merged.blackhole)
+    sas = self_attack_corpus(scale)
+    sas_attack = sas.flows.select(sas.flows.blackhole)
+
+    classes = {"benign": benign, "blackhole": blackhole, "self-attack": sas_attack}
+    for name, flows in classes.items():
+        flags = _ddos_port_flags(flows)
+        result.rows.append(
+            {
+                "class": name,
+                "n_flows": len(flows),
+                "ddos_port_share_pct": 100.0 * float(flags.mean()) if len(flows) else 0.0,
+            }
+        )
+    result.notes["benign_ddos_share_pct"] = result.rows[0]["ddos_port_share_pct"]
+    result.notes["blackhole_ddos_share_pct"] = result.rows[1]["ddos_port_share_pct"]
+    result.notes["sas_ddos_share_pct"] = result.rows[2]["ddos_port_share_pct"]
+
+    # Fig. 4b: packet-size medians per vector, blackhole vs SAS.
+    bh_sizes = _vector_sizes(blackhole)
+    sas_sizes = _vector_sizes(sas_attack)
+    for vector in sorted(set(bh_sizes) | set(sas_sizes)):
+        bh = bh_sizes.get(vector, np.empty(0))
+        sa = sas_sizes.get(vector, np.empty(0))
+        result.series[f"fig4b/{vector}"] = (bh.tolist(), sa.tolist())
+        result.rows.append(
+            {
+                "class": f"sizes/{vector}",
+                "n_flows": int(bh.size),
+                "ddos_port_share_pct": float("nan"),
+                "bh_median_size": float(np.median(bh)) if bh.size else float("nan"),
+                "sas_median_size": float(np.median(sa)) if sa.size else float("nan"),
+            }
+        )
+    # WS-Discovery presence check (Fig. 4b's outlier).
+    wsd_bh = bh_sizes.get("WS-Discovery", np.empty(0)).size
+    wsd_sas = sas_sizes.get("WS-Discovery", np.empty(0)).size
+    result.notes["wsd_blackhole_flows"] = int(wsd_bh)
+    result.notes["wsd_sas_flows"] = int(wsd_sas)
+    return result

@@ -1,0 +1,97 @@
+"""The five IXP vantage-point profiles (paper Table 2).
+
+Each profile captures the *relative* scale of one IXP in the paper's
+dataset — connected ASes, traffic level, attack frequency — plus the
+parameters of our synthetic workload for that vantage point. Absolute
+volumes are scaled down by a documented factor (see DESIGN.md §1): the
+reproduction target is the ordering and the balance/shape properties,
+not terabits.
+
+``bins_per_day`` compresses a simulated day into a tractable number of
+one-minute bins; all downstream code operates on real timestamps and the
+one-minute bin width of the paper, only the number of bins per "day" is
+reduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IXPProfile:
+    """Scenario parameters of one IXP vantage point."""
+
+    name: str
+    region: int  # index into the reflector-pool regions
+    n_members: int
+    #: Relative traffic scale (IXP-CE1 = 1.0); drives benign volume.
+    traffic_scale: float
+    #: Mean number of attack events starting per simulated day.
+    attacks_per_day: float
+    #: Mean sampled attack flows per minute per event.
+    attack_intensity: float
+    #: Mean sampled benign flows per target per minute.
+    benign_flows_per_target: float
+    #: Benign target IPs receiving traffic per minute.
+    benign_targets_per_minute: int
+    #: Probability that an attacked network blackholes the victim.
+    blackhole_probability: float = 0.96
+    #: Probability a blackhole is precautionary (no attack behind it).
+    spurious_blackhole_probability: float = 0.01
+    #: One-minute bins per simulated day (time compression).
+    bins_per_day: int = 96
+    #: Base seed; combined with day index for reproducible streams.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_members <= 0:
+            raise ValueError("profile needs members")
+        if self.bins_per_day <= 0:
+            raise ValueError("bins_per_day must be positive")
+        if not 0.0 <= self.blackhole_probability <= 1.0:
+            raise ValueError("blackhole_probability out of [0, 1]")
+
+    @property
+    def seconds_per_day(self) -> int:
+        """Simulated seconds per day (bins_per_day one-minute bins)."""
+        return self.bins_per_day * 60
+
+
+#: Profiles mirroring Table 2, ordered by decreasing size. Scales are
+#: relative; IXP-CE1 (>800 ASes, >10 Tbps) is the reference.
+IXP_CE1 = IXPProfile(
+    name="IXP-CE1", region=0, n_members=64, traffic_scale=1.0,
+    attacks_per_day=40.0, attack_intensity=28.0,
+    benign_flows_per_target=6.0, benign_targets_per_minute=96, seed=101,
+)
+IXP_US1 = IXPProfile(
+    name="IXP-US1", region=1, n_members=32, traffic_scale=0.25,
+    attacks_per_day=18.0, attack_intensity=26.0,
+    benign_flows_per_target=5.0, benign_targets_per_minute=64, seed=102,
+)
+IXP_SE = IXPProfile(
+    name="IXP-SE", region=2, n_members=24, traffic_scale=0.12,
+    attacks_per_day=10.0, attack_intensity=24.0,
+    benign_flows_per_target=5.0, benign_targets_per_minute=48, seed=103,
+)
+IXP_US2 = IXPProfile(
+    name="IXP-US2", region=3, n_members=16, traffic_scale=0.05,
+    attacks_per_day=4.0, attack_intensity=22.0,
+    benign_flows_per_target=5.0, benign_targets_per_minute=44, seed=104,
+)
+IXP_CE2 = IXPProfile(
+    name="IXP-CE2", region=4, n_members=20, traffic_scale=0.02,
+    attacks_per_day=2.0, attack_intensity=20.0,
+    benign_flows_per_target=5.0, benign_targets_per_minute=36, seed=105,
+)
+
+#: All five vantage points, largest first (Fig. 12 ordering).
+ALL_PROFILES: tuple[IXPProfile, ...] = (IXP_CE1, IXP_US1, IXP_SE, IXP_US2, IXP_CE2)
+
+PROFILE_BY_NAME: dict[str, IXPProfile] = {p.name: p for p in ALL_PROFILES}
+
+
+def profile_by_name(name: str) -> IXPProfile:
+    """Look up a profile by IXP name (raises ``KeyError``)."""
+    return PROFILE_BY_NAME[name]

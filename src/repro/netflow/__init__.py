@@ -1,0 +1,44 @@
+"""Flow-record substrate: data model, columnar datasets, IO, anonymisation."""
+
+from repro.netflow.anonymize import Anonymizer
+from repro.netflow.dataset import BIN_SECONDS, SCHEMA, FlowDataset
+from repro.netflow.fields import (
+    PROTO_GRE,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PROTOCOL_NAMES,
+    WELL_KNOWN_DDOS_PORTS,
+    ddos_port_label,
+)
+from repro.netflow.io import load_csv, load_npz, save_csv, save_npz
+from repro.netflow.record import (
+    FlowRecord,
+    int_to_ip,
+    int_to_mac,
+    ip_to_int,
+    mac_to_int,
+)
+
+__all__ = [
+    "Anonymizer",
+    "BIN_SECONDS",
+    "SCHEMA",
+    "FlowDataset",
+    "FlowRecord",
+    "PROTO_GRE",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTOCOL_NAMES",
+    "WELL_KNOWN_DDOS_PORTS",
+    "ddos_port_label",
+    "int_to_ip",
+    "int_to_mac",
+    "ip_to_int",
+    "mac_to_int",
+    "load_csv",
+    "load_npz",
+    "save_csv",
+    "save_npz",
+]

@@ -1,0 +1,95 @@
+"""Field constants for flow records.
+
+Protocol numbers, well-known service ports, and the DDoS vector port
+catalogue used throughout the paper (Fig. 4a lists the well-known DDoS
+ports observed in blackholing traffic).
+"""
+
+from __future__ import annotations
+
+# IANA protocol numbers.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_GRE = 47
+
+PROTOCOL_NAMES = {
+    PROTO_ICMP: "ICMP",
+    PROTO_TCP: "TCP",
+    PROTO_UDP: "UDP",
+    PROTO_GRE: "GRE",
+}
+
+# Sentinel source port for UDP fragments: non-first fragments carry no
+# L4 header, flow exporters report port 0.
+PORT_FRAGMENT = 0
+
+# Well-known service ports of DDoS reflection/amplification vectors
+# (protocol, source port on the reflector side).
+PORT_DNS = 53
+PORT_NTP = 123
+PORT_SNMP = 161
+PORT_LDAP = 389  # CLDAP reflection uses UDP/389
+PORT_SSDP = 1900
+PORT_MEMCACHED = 11211
+PORT_CHARGEN = 19
+PORT_WSD = 3702  # WS-Discovery
+PORT_APPLE_RD = 3283  # Apple Remote Desktop (ARMS)
+PORT_MSSQL = 1434
+PORT_RPCBIND = 111
+PORT_NETBIOS = 137
+PORT_RIP = 520
+PORT_OPENVPN = 1194
+PORT_TFTP = 69
+PORT_UBIQUITI = 10001  # Ubiquiti Service Discovery
+PORT_WCCP = 2048
+PORT_DHCPDISC = 67
+PORT_MICROSOFT_TS = 3389
+
+# Common benign service ports.
+PORT_HTTP = 80
+PORT_HTTPS = 443
+PORT_QUIC = 443
+PORT_SSH = 22
+PORT_SMTP = 25
+PORT_IMAPS = 993
+PORT_RTMP = 1935
+
+#: Ports considered "well-known DDoS ports" for the Fig. 4a breakdown,
+#: keyed by (protocol, source port).
+WELL_KNOWN_DDOS_PORTS = {
+    (PROTO_UDP, PORT_DNS): "DNS",
+    (PROTO_UDP, PORT_NTP): "NTP",
+    (PROTO_UDP, PORT_SNMP): "SNMP",
+    (PROTO_UDP, PORT_LDAP): "LDAP",
+    (PROTO_UDP, PORT_SSDP): "SSDP",
+    (PROTO_UDP, PORT_MEMCACHED): "memcached",
+    (PROTO_UDP, PORT_CHARGEN): "chargen",
+    (PROTO_UDP, PORT_WSD): "WS-Discovery",
+    (PROTO_UDP, PORT_APPLE_RD): "Apple RD",
+    (PROTO_UDP, PORT_MSSQL): "MSSQL",
+    (PROTO_UDP, PORT_RPCBIND): "rpcbind",
+    (PROTO_TCP, PORT_RPCBIND): "rpcbind (TCP)",
+    (PROTO_TCP, PORT_DNS): "DNS (TCP)",
+    (PROTO_UDP, PORT_NETBIOS): "NetBios",
+    (PROTO_UDP, PORT_RIP): "RIP",
+    (PROTO_UDP, PORT_OPENVPN): "OpenVPN",
+    (PROTO_UDP, PORT_TFTP): "TFTP",
+    (PROTO_UDP, PORT_UBIQUITI): "Ubiq. SD",
+    (PROTO_UDP, PORT_WCCP): "WCCP",
+    (PROTO_UDP, PORT_DHCPDISC): "DHCPDisc.",
+    (PROTO_GRE, 0): "GRE",
+    (PROTO_UDP, PORT_MICROSOFT_TS): "Micr. TS",
+}
+
+
+def ddos_port_label(protocol: int, src_port: int) -> str | None:
+    """Return the DDoS vector label for a (protocol, source port) pair.
+
+    Returns ``None`` when the pair is not a well-known DDoS port.
+    UDP fragments (source port 0) are labelled ``"UDP Fragm."``, matching
+    the paper's Fig. 4a category.
+    """
+    if protocol == PROTO_UDP and src_port == PORT_FRAGMENT:
+        return "UDP Fragm."
+    return WELL_KNOWN_DDOS_PORTS.get((protocol, src_port))

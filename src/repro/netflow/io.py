@@ -1,0 +1,65 @@
+"""Serialisation of flow datasets.
+
+Two formats are supported:
+
+* ``.npz`` — compressed numpy archive, the native fast path used by the
+  experiment corpus cache.
+* ``.csv`` — plain-text interchange for inspection and external tooling.
+
+Neither format carries payload data; per the paper's ethics discussion
+(§4.3) only sampled L2-L4 headers and counters are stored.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.netflow.dataset import SCHEMA, FlowDataset
+
+_CSV_FIELDS = list(SCHEMA)
+
+
+def save_npz(dataset: FlowDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **dataset.to_columns())
+
+
+def load_npz(path: str | Path) -> FlowDataset:
+    """Load a dataset previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as archive:
+        columns = {name: archive[name] for name in SCHEMA}
+    return FlowDataset(columns)
+
+
+def save_csv(dataset: FlowDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` as CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = dataset.to_columns()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for i in range(len(dataset)):
+            writer.writerow([int(columns[name][i]) for name in _CSV_FIELDS])
+
+
+def load_csv(path: str | Path) -> FlowDataset:
+    """Load a dataset previously written by :func:`save_csv`."""
+    columns: dict[str, list[int]] = {name: [] for name in _CSV_FIELDS}
+    with open(Path(path), newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != _CSV_FIELDS:
+            raise ValueError(
+                f"unexpected CSV header {reader.fieldnames}, expected {_CSV_FIELDS}"
+            )
+        for row in reader:
+            for name in _CSV_FIELDS:
+                columns[name].append(int(row[name]))
+    return FlowDataset(
+        {name: np.asarray(values, dtype=SCHEMA[name]) for name, values in columns.items()}
+    )

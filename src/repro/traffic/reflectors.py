@@ -1,0 +1,123 @@
+"""Per-region reflector pools.
+
+A reflector pool holds, per DDoS vector, the set of abusable hosts
+(open NTP servers, open resolvers, exposed memcached instances, ...)
+visible from one vantage point. Pools are region-local with a small
+configurable overlap: the paper finds a "very low overlap of DDoS
+reflection hosts among IXPs" (Fig. 12, middle), which is exactly what
+breaks naive cross-IXP model transfer and what WoE re-localisation fixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.address_space import region_reflector_block
+from repro.traffic.vectors import ALL_VECTORS, DDoSVector
+
+
+class ReflectorPool:
+    """The reflectors of one region, keyed by vector name.
+
+    Pools *churn* over time: abusable hosts get patched or taken down
+    while fresh ones are exposed. ``churn_fraction`` of each pool is
+    replaced per epoch (epochs are whatever the caller chooses, usually
+    simulated days); :meth:`pool_at_epoch` derives the epoch-``e`` pool
+    deterministically by chaining replacements, so overlap between two
+    epochs decays geometrically with their distance — the temporal drift
+    of "new DDoS reflection hosts" the paper discusses in §6.3.
+    """
+
+    #: Shared block (region index 15) from which the overlapping fraction
+    #: of every pool is drawn, so that a small set of globally-known
+    #: reflectors appears at multiple vantage points.
+    _SHARED_REGION = 15
+
+    def __init__(
+        self,
+        region: int,
+        seed: int,
+        pool_size: int = 400,
+        shared_fraction: float = 0.05,
+        churn_fraction: float = 0.0,
+    ):
+        if not 0.0 <= shared_fraction <= 1.0:
+            raise ValueError("shared_fraction out of [0, 1]")
+        if not 0.0 <= churn_fraction < 1.0:
+            raise ValueError("churn_fraction out of [0, 1)")
+        self.region = region
+        self.churn_fraction = churn_fraction
+        self._seed = seed
+        self._pools: dict[str, np.ndarray] = {}
+        self._epoch_pools: dict[tuple[str, int], np.ndarray] = {}
+        rng = np.random.default_rng(seed)
+        local_block = region_reflector_block(region)
+        shared_block = region_reflector_block(self._SHARED_REGION)
+        n_shared = int(round(pool_size * shared_fraction))
+        # The shared sub-pool is drawn from a *fixed* seed so every region
+        # sees the same globally-known reflectors.
+        shared_rng = np.random.default_rng(0xC0FFEE)
+        for vector in ALL_VECTORS:
+            local = local_block.sample(rng, pool_size - n_shared, replace=False)
+            shared = shared_block.sample(shared_rng, n_shared, replace=False)
+            pool = np.union1d(local, shared).astype(np.uint32)
+            # Shuffle so shared reflectors land at random Zipf ranks —
+            # union1d sorts by address, which would otherwise push the
+            # (high-address) shared block to the never-used tail.
+            self._pools[vector.name] = rng.permutation(pool)
+
+    def reflectors(self, vector: DDoSVector | str) -> np.ndarray:
+        """All reflector addresses for ``vector`` (epoch 0)."""
+        name = vector if isinstance(vector, str) else vector.name
+        return self._pools[name]
+
+    def pool_at_epoch(self, vector: DDoSVector | str, epoch: int) -> np.ndarray:
+        """The (deterministic) reflector pool at ``epoch``."""
+        name = vector if isinstance(vector, str) else vector.name
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        if epoch == 0 or self.churn_fraction == 0.0:
+            return self._pools[name]
+        cached = self._epoch_pools.get((name, epoch))
+        if cached is not None:
+            return cached
+        previous = self.pool_at_epoch(name, epoch - 1)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self._seed, epoch, hash(name) & 0xFFFF])
+        )
+        pool = previous.copy()
+        n_replace = int(round(self.churn_fraction * pool.shape[0]))
+        if n_replace:
+            positions = rng.choice(pool.shape[0], size=n_replace, replace=False)
+            block = region_reflector_block(self.region)
+            pool[positions] = block.sample(rng, n_replace)
+        self._epoch_pools[(name, epoch)] = pool
+        return pool
+
+    def sample(
+        self,
+        vector: DDoSVector | str,
+        rng: np.random.Generator,
+        n: int,
+        epoch: int = 0,
+    ) -> np.ndarray:
+        """Draw ``n`` reflector addresses (with replacement, skewed).
+
+        Reflection attacks do not use reflectors uniformly: booters keep
+        lists in which a minority of high-bandwidth reflectors carries
+        most traffic. A Zipf-ish weighting reproduces that skew.
+        """
+        pool = self.pool_at_epoch(vector, epoch)
+        ranks = np.arange(1, pool.shape[0] + 1, dtype=np.float64)
+        weights = 1.0 / ranks
+        weights /= weights.sum()
+        return rng.choice(pool, size=n, replace=True, p=weights)
+
+    def overlap(self, other: "ReflectorPool", vector: DDoSVector | str) -> float:
+        """Jaccard overlap of two pools for one vector."""
+        a = set(self.reflectors(vector).tolist())
+        b = set(other.reflectors(vector).tolist())
+        union = a | b
+        if not union:
+            return 0.0
+        return len(a & b) / len(union)

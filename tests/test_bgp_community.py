@@ -1,0 +1,52 @@
+"""Tests for BGP communities and blackhole detection."""
+
+import pytest
+
+from repro.bgp.community import (
+    BLACKHOLE,
+    Community,
+    has_blackhole_signal,
+    is_blackhole_community,
+)
+
+
+class TestCommunity:
+    def test_parse(self):
+        assert Community.parse("65535:666") == BLACKHOLE
+
+    def test_parse_malformed(self):
+        with pytest.raises(ValueError):
+            Community.parse("65535-666")
+
+    def test_rejects_out_of_range_asn(self):
+        with pytest.raises(ValueError):
+            Community(asn=70000, value=1)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            Community(asn=1, value=70000)
+
+    def test_str_roundtrip(self):
+        c = Community(asn=64512, value=100)
+        assert Community.parse(str(c)) == c
+
+
+class TestBlackholeDetection:
+    def test_rfc7999_is_blackhole(self):
+        assert is_blackhole_community(BLACKHOLE)
+
+    def test_operator_convention_666(self):
+        assert is_blackhole_community(Community(asn=64512, value=666))
+
+    def test_ordinary_community_is_not(self):
+        assert not is_blackhole_community(Community(asn=64512, value=100))
+
+    def test_signal_in_set(self):
+        communities = {Community(1, 2), Community(64512, 666)}
+        assert has_blackhole_signal(communities)
+
+    def test_no_signal_in_set(self):
+        assert not has_blackhole_signal({Community(1, 2)})
+
+    def test_empty_set(self):
+        assert not has_blackhole_signal(set())

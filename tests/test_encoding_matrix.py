@@ -1,0 +1,62 @@
+"""Tests for feature-matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding.matrix import FeatureMatrix, assemble, feature_columns
+from repro.core.encoding.woe import WoEEncoder
+from repro.core.features import schema
+from repro.core.features.aggregation import aggregate
+
+
+class TestAssemble:
+    def test_requires_fitted_woe(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        with pytest.raises(RuntimeError):
+            assemble(data, WoEEncoder())
+
+    def test_shape_and_columns(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        woe = WoEEncoder(min_count=1).fit(data)
+        matrix = assemble(data, woe)
+        assert matrix.X.shape == (len(data), 150)
+        assert matrix.columns == feature_columns()
+        assert matrix.y.shape == (len(data),)
+
+    def test_key_columns_are_woe_encoded(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        woe = WoEEncoder(min_count=1).fit(data)
+        matrix = assemble(data, woe)
+        column = schema.key_column("src_port", "bytes", 0)
+        j = matrix.column_index(column)
+        expected = woe.encode_column(column, data.categorical[column])
+        np.testing.assert_allclose(matrix.X[:, j], expected)
+
+    def test_value_columns_pass_through(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        woe = WoEEncoder(min_count=1).fit(data)
+        matrix = assemble(data, woe)
+        column = schema.value_column("src_ip", "bytes", 0)
+        j = matrix.column_index(column)
+        np.testing.assert_array_equal(matrix.X[:, j], data.metrics[column])
+
+    def test_labels_are_int(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        woe = WoEEncoder(min_count=1).fit(data)
+        matrix = assemble(data, woe)
+        assert matrix.y.dtype == np.int64
+        assert set(np.unique(matrix.y)) <= {0, 1}
+
+
+class TestFeatureMatrix:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(X=np.zeros((3, 2)), y=np.zeros(2), columns=("a", "b"))
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(X=np.zeros((3, 2)), y=np.zeros(3), columns=("a",))
+
+    def test_len(self):
+        matrix = FeatureMatrix(X=np.zeros((3, 1)), y=np.zeros(3), columns=("a",))
+        assert len(matrix) == 3

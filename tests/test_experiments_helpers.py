@@ -1,0 +1,58 @@
+"""Unit tests for experiment-module helpers that need no corpus."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.security import _ATTACKER_VICTIMS, _poison_flows
+from repro.experiments.table4_hyperparams import GRIDS
+from repro.netflow import fields
+from repro.traffic.workload import _site_popularity
+
+
+class TestPoisonFlows:
+    def test_shape_and_labels(self, rng):
+        flows = _poison_flows(500, 0, 3600, rng)
+        assert len(flows) == 500
+        assert flows.blackhole.all()
+
+    def test_https_mimicry(self, rng):
+        flows = _poison_flows(200, 0, 3600, rng)
+        assert (flows.src_port == fields.PORT_HTTPS).all()
+        assert (flows.protocol == fields.PROTO_TCP).all()
+
+    def test_targets_attacker_space(self, rng):
+        flows = _poison_flows(200, 0, 3600, rng)
+        assert (flows.dst_ip >= np.uint32(_ATTACKER_VICTIMS)).all()
+
+    def test_window_respected(self, rng):
+        flows = _poison_flows(200, 100, 200, rng)
+        assert (flows.time >= 100).all() and (flows.time < 200).all()
+
+
+class TestTable4Grids:
+    def test_every_model_has_a_grid(self):
+        from repro.core.models.pipeline import TABLE5_MODELS
+
+        assert set(GRIDS) == set(TABLE5_MODELS)
+
+    def test_grid_values_nonempty(self):
+        for name, grid in GRIDS.items():
+            assert grid, name
+            for parameter, values in grid.items():
+                assert len(values) >= 2, (name, parameter)
+
+
+class TestSitePopularityProperties:
+    def test_weights_positive(self):
+        for seed in (101, 102, 103, 104, 105):
+            assert all(w > 0 for w in _site_popularity(seed).values())
+
+    def test_pinned_vector_never_boosted(self):
+        """WS-Discovery stays at its tiny base weight at every site."""
+        from repro.traffic.workload import DEFAULT_VECTOR_POPULARITY
+
+        base = DEFAULT_VECTOR_POPULARITY["WS-Discovery"]
+        for seed in (101, 102, 103, 104, 105):
+            popularity = _site_popularity(seed)
+            if "WS-Discovery" in popularity:
+                assert popularity["WS-Discovery"] == pytest.approx(base)

@@ -1,0 +1,171 @@
+"""Tests for local explainability and drift-evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (
+    TransferMatrix,
+    geographic_transfer,
+    one_shot_evaluation,
+    reflector_overlap_matrix,
+    sliding_window_evaluation,
+)
+from repro.core.explain import (
+    explain_record,
+    rule_overlap,
+    woe_distributions_by_outcome,
+)
+from repro.core.encoding.woe import WoEEncoder
+from repro.core.features.aggregation import aggregate
+from repro.core.rules.model import PortMatch, TaggingRule
+from repro.core.scrubber import IXPScrubber, ScrubberConfig
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+@pytest.fixture
+def annotated_data(handmade_flows):
+    rule = TaggingRule(
+        rule_id="ntp1", confidence=0.99, support=0.1,
+        protocol=17, port_src=PortMatch(values=frozenset({123})),
+    )
+    flows = FlowDataset.concat([handmade_flows] * 10)
+    data = aggregate(flows, rules=[rule])
+    woe = WoEEncoder(min_count=1).fit(data)
+    return data, woe, rule
+
+
+class TestExplainRecord:
+    def test_evidence_sorted_by_strength(self, annotated_data):
+        data, woe, rule = annotated_data
+        explanation = explain_record(data, 0, woe, score=0.9, rules=[rule])
+        strengths = [abs(e.woe) for e in explanation.evidence]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_matched_rules_resolved(self, annotated_data):
+        data, woe, rule = annotated_data
+        idx = next(i for i in range(len(data)) if data.rule_tags[i])
+        explanation = explain_record(data, idx, woe, score=0.9, rules=[rule])
+        assert explanation.matched_rules == (rule,)
+
+    def test_summary_renders(self, annotated_data):
+        data, woe, rule = annotated_data
+        explanation = explain_record(data, 0, woe, score=0.7, rules=[rule])
+        text = explanation.summary()
+        assert "DDoS" in text or "benign" in text
+        assert "WoE" in text
+
+    def test_index_out_of_range(self, annotated_data):
+        data, woe, _ = annotated_data
+        with pytest.raises(IndexError):
+            explain_record(data, len(data), woe, score=0.5)
+
+    def test_prediction_threshold(self, annotated_data):
+        data, woe, _ = annotated_data
+        assert explain_record(data, 0, woe, score=0.51).predicted_ddos
+        assert not explain_record(data, 0, woe, score=0.49).predicted_ddos
+
+
+class TestRuleOverlap:
+    def test_perfect_agreement(self, annotated_data):
+        data, woe, rule = annotated_data
+        rbc_like = np.array([1 if tags else 0 for tags in data.rule_tags])
+        report = rule_overlap(data, rbc_like)
+        assert report.coherent_share == 1.0
+        assert report.explained_share == 1.0
+
+    def test_requires_annotations(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        with pytest.raises(ValueError):
+            rule_overlap(data, np.zeros(len(data)))
+
+    def test_histogram_counts(self, annotated_data):
+        data, woe, _ = annotated_data
+        predictions = np.array([1 if tags else 0 for tags in data.rule_tags])
+        report = rule_overlap(data, predictions)
+        assert sum(report.rule_count_histogram.values()) == int(predictions.sum())
+
+
+class TestWoEDistributions:
+    def test_split_by_outcome(self, annotated_data):
+        data, woe, _ = annotated_data
+        predictions = np.ones(len(data), dtype=int)
+        column = "src_port/bytes/0"
+        distributions = woe_distributions_by_outcome(data, woe, predictions, [column])
+        tp = distributions[column]["tp"]
+        fp = distributions[column]["fp"]
+        assert tp.size == int(data.labels.sum())
+        assert fp.size == int((~data.labels).sum())
+
+
+def _toy_corpus(seed, n_bins=240, flip=False):
+    """Aggregated records spanning ``n_bins`` minutes with learnable labels."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for b in range(n_bins):
+        t = b * 60
+        # Attack record (NTP signature) and benign record per bin.
+        for k in range(3):
+            records.append(
+                make_flow(time=t + k, src_ip=int(rng.integers(100, 200)), dst_ip=1,
+                          src_port=123, packets=40, bytes_=18720, blackhole=True)
+            )
+        for k in range(3):
+            records.append(
+                make_flow(time=t + k, src_ip=int(rng.integers(300, 400)), dst_ip=2,
+                          src_port=443, protocol=6, packets=10, bytes_=12000)
+            )
+    return aggregate(FlowDataset.from_records(records))
+
+
+class TestTemporalEvaluation:
+    def test_one_shot_series(self):
+        data = _toy_corpus(0)
+        series = one_shot_evaluation(data, bins_per_day=60, train_days=1)
+        assert series.days.shape == series.scores.shape
+        assert series.days.shape[0] == 3  # 4 days total, 1 train
+        assert series.median() > 0.9
+
+    def test_sliding_series(self):
+        data = _toy_corpus(0)
+        series = sliding_window_evaluation(data, bins_per_day=60, window_days=1)
+        assert series.days.shape[0] == 3
+        assert series.median() > 0.9
+
+    def test_sliding_needs_enough_days(self):
+        data = _toy_corpus(0, n_bins=60)
+        with pytest.raises(ValueError):
+            sliding_window_evaluation(data, bins_per_day=60, window_days=5)
+
+
+class TestGeographicTransfer:
+    def test_matrix_shape_and_diagonal(self):
+        corpora = {"A": _toy_corpus(1), "B": _toy_corpus(2)}
+        config = ScrubberConfig(model="XGB", model_params={"n_estimators": 5})
+        matrix = geographic_transfer(corpora, corpora, config=config)
+        assert matrix.scores.shape == (2, 2)
+        assert matrix.score("A", "A") > 0.9
+        assert matrix.score("B", "B") > 0.9
+
+    def test_classifier_only_mode(self):
+        corpora = {"A": _toy_corpus(1), "B": _toy_corpus(2)}
+        config = ScrubberConfig(model="XGB", model_params={"n_estimators": 5})
+        matrix = geographic_transfer(corpora, corpora, config=config, keep_local_woe=True)
+        assert matrix.score("A", "B") > 0.9
+
+    def test_reflector_overlap_diagonal_is_one(self):
+        corpora = {"A": _toy_corpus(1), "B": _toy_corpus(2)}
+        scrubbers = {}
+        for name, data in corpora.items():
+            s = IXPScrubber(ScrubberConfig(model="XGB", model_params={"n_estimators": 3}))
+            s.fit_aggregated(data)
+            scrubbers[name] = s
+        matrix = reflector_overlap_matrix(scrubbers, threshold=0.5)
+        for site in ("A", "B"):
+            value = matrix.score(site, site)
+            assert value == 1.0 or np.isnan(value)
+
+    def test_transfer_matrix_lookup_error(self):
+        matrix = TransferMatrix(("A",), ("A",), np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            matrix.score("X", "A")

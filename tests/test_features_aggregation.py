@@ -1,0 +1,203 @@
+"""Tests for flow -> per-target aggregation (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import schema
+from repro.core.features.aggregation import AggregatedDataset, aggregate
+from repro.core.rules.model import PortMatch, TaggingRule
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+class TestAggregate:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate(FlowDataset.empty())
+
+    def test_group_count(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        # (bin 0: targets 100, 200), (bin 1: targets 100, 300).
+        assert len(data) == 4
+
+    def test_labels_any_blackhole(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        by_key = {
+            (int(data.bins[i]), int(data.targets[i])): bool(data.labels[i])
+            for i in range(len(data))
+        }
+        assert by_key[(0, 100)] is True
+        assert by_key[(0, 200)] is False
+        assert by_key[(1, 100)] is True
+        assert by_key[(1, 300)] is False
+
+    def test_n_flows(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        by_key = {
+            (int(data.bins[i]), int(data.targets[i])): int(data.n_flows[i])
+            for i in range(len(data))
+        }
+        assert by_key[(0, 100)] == 3
+        assert by_key[(1, 300)] == 4
+
+    def test_ranking_by_bytes(self, handmade_flows):
+        """Top source port by bytes in bin 0 / target 100 must be 123."""
+        data = aggregate(handmade_flows)
+        idx = next(
+            i for i in range(len(data))
+            if data.bins[i] == 0 and data.targets[i] == 100
+        )
+        top_port = data.categorical[schema.key_column("src_port", "bytes", 0)][idx]
+        top_bytes = data.metrics[schema.value_column("src_port", "bytes", 0)][idx]
+        assert top_port == 123
+        assert top_bytes == 23400 + 18720  # both NTP flows summed per key
+
+    def test_rank_aggregates_per_key(self):
+        """Two flows from the same source IP aggregate into one rank."""
+        flows = FlowDataset.from_records(
+            [
+                make_flow(time=0, src_ip=7, dst_ip=1, packets=10, bytes_=1000),
+                make_flow(time=1, src_ip=7, dst_ip=1, packets=30, bytes_=3000),
+                make_flow(time=2, src_ip=8, dst_ip=1, packets=5, bytes_=500),
+            ]
+        )
+        data = aggregate(flows)
+        assert len(data) == 1
+        assert data.categorical[schema.key_column("src_ip", "bytes", 0)][0] == 7
+        assert data.metrics[schema.value_column("src_ip", "bytes", 0)][0] == 4000
+        assert data.categorical[schema.key_column("src_ip", "bytes", 1)][0] == 8
+
+    def test_missing_ranks_marked(self):
+        flows = FlowDataset.from_records([make_flow(time=0, dst_ip=1)])
+        data = aggregate(flows)
+        # Only one distinct source IP -> ranks 1..4 missing.
+        assert data.categorical[schema.key_column("src_ip", "bytes", 1)][0] == schema.MISSING_KEY
+        assert np.isnan(data.metrics[schema.value_column("src_ip", "bytes", 1)][0])
+
+    def test_weighted_mean_packet_size(self):
+        flows = FlowDataset.from_records(
+            [
+                make_flow(time=0, src_ip=7, dst_ip=1, packets=1, bytes_=100),
+                make_flow(time=1, src_ip=7, dst_ip=1, packets=3, bytes_=900),
+            ]
+        )
+        data = aggregate(flows)
+        size = data.metrics[schema.value_column("src_ip", "packet_size", 0)][0]
+        assert size == pytest.approx(1000 / 4)
+
+    def test_feature_count(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        assert len(data.feature_names) == 150
+
+    def test_rule_annotations(self, handmade_flows):
+        rule = TaggingRule(
+            rule_id="ntp1", confidence=0.99, support=0.1,
+            protocol=17, port_src=PortMatch(values=frozenset({123})),
+        )
+        data = aggregate(handmade_flows, rules=[rule])
+        by_key = {
+            (int(data.bins[i]), int(data.targets[i])): data.rule_tags[i]
+            for i in range(len(data))
+        }
+        assert by_key[(0, 100)] == ("ntp1",)
+        assert by_key[(0, 200)] == ()
+
+    def test_no_rules_no_annotations(self, handmade_flows):
+        assert aggregate(handmade_flows).rule_tags is None
+
+
+class TestAggregatedDataset:
+    def test_select_mask(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        subset = data.select(data.labels)
+        assert len(subset) == int(data.labels.sum())
+        assert subset.labels.all()
+
+    def test_concat(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        merged = AggregatedDataset.concat([data, data])
+        assert len(merged) == 2 * len(data)
+        assert merged.feature_names == data.feature_names
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregatedDataset.concat([])
+
+    def test_time_split(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        before, after = data.time_split(1)
+        assert (before.bins < 1).all()
+        assert (after.bins >= 1).all()
+        assert len(before) + len(after) == len(data)
+
+    def test_blackhole_share(self, handmade_flows):
+        data = aggregate(handmade_flows)
+        assert data.blackhole_share == pytest.approx(0.5)
+
+    def test_select_keeps_rule_tags(self, handmade_flows):
+        rule = TaggingRule(
+            rule_id="ntp1", confidence=0.99, support=0.1,
+            protocol=17, port_src=PortMatch(values=frozenset({123})),
+        )
+        data = aggregate(handmade_flows, rules=[rule])
+        subset = data.select(data.labels)
+        assert len(subset.rule_tags) == len(subset)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=300),  # time
+            st.integers(min_value=1, max_value=5),  # dst ip
+            st.integers(min_value=1, max_value=8),  # src ip
+            st.sampled_from([53, 123, 443, 4444]),  # src port
+            st.integers(min_value=1, max_value=50),  # packets
+            st.booleans(),  # blackhole
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_aggregation_invariants(rows):
+    """Property test: aggregation partitions flows, labels are ORs of
+    flow labels, and rankings are sorted descending."""
+    flows = FlowDataset.from_records(
+        [
+            make_flow(
+                time=t, dst_ip=dst, src_ip=src, src_port=port,
+                packets=packets, bytes_=packets * 500, blackhole=bh,
+            )
+            for t, dst, src, port, packets, bh in rows
+        ]
+    )
+    data = aggregate(flows)
+
+    # Partition: every flow lands in exactly one record.
+    assert int(data.n_flows.sum()) == len(flows)
+
+    # Labels: record is positive iff any of its flows is blackholed.
+    bins = flows.time_bin()
+    for i in range(len(data)):
+        mask = (bins == data.bins[i]) & (flows.dst_ip == data.targets[i])
+        assert bool(data.labels[i]) == bool(flows.blackhole[mask].any())
+
+    # Rankings: metric values descending, missing ranks trail.
+    for cat in schema.CATEGORICALS:
+        for metric in schema.METRICS:
+            previous = None
+            for r in range(schema.RANKS):
+                value = data.metrics[schema.value_column(cat, metric, r)]
+                key = data.categorical[schema.key_column(cat, metric, r)]
+                for i in range(len(data)):
+                    v = value[i]
+                    if key[i] == schema.MISSING_KEY:
+                        assert np.isnan(v)
+                    elif r > 0:
+                        prev = data.metrics[schema.value_column(cat, metric, r - 1)][i]
+                        if not np.isnan(prev):
+                            assert v <= prev + 1e-9

@@ -1,0 +1,48 @@
+"""Tests for the 150-column feature schema."""
+
+import pytest
+
+from repro.core.features import schema
+
+
+class TestSchema:
+    def test_counts_match_paper(self):
+        """|M| * |C| rankings with 2r columns each = 150 (paper §5.2.1)."""
+        assert len(schema.CATEGORICALS) == 5
+        assert len(schema.METRICS) == 3
+        assert schema.RANKS == 5
+        assert len(schema.all_columns()) == 150
+        assert len(schema.key_columns()) == 75
+        assert len(schema.value_columns()) == 75
+
+    def test_no_duplicate_columns(self):
+        columns = schema.all_columns()
+        assert len(columns) == len(set(columns))
+
+    def test_column_name_notation(self):
+        """Fig. 10 notation: categorical/metric/rank."""
+        assert schema.key_column("src_ip", "bytes", 0) == "src_ip/bytes/0"
+        assert schema.value_column("src_ip", "bytes", 0) == "src_ip/bytes/0/value"
+
+    def test_parse_key_column(self):
+        assert schema.parse_column("src_port/packets/3") == ("src_port", "packets", 3, False)
+
+    def test_parse_value_column(self):
+        assert schema.parse_column("src_mac/bytes/1/value") == ("src_mac", "bytes", 1, True)
+
+    def test_parse_malformed(self):
+        with pytest.raises(ValueError):
+            schema.parse_column("src_ip")
+
+    def test_parse_roundtrip_all(self):
+        for name in schema.all_columns():
+            cat, metric, rank, is_value = schema.parse_column(name)
+            assert cat in schema.CATEGORICALS
+            assert metric in schema.METRICS
+            assert 0 <= rank < schema.RANKS
+            rebuilt = (
+                schema.value_column(cat, metric, rank)
+                if is_value
+                else schema.key_column(cat, metric, rank)
+            )
+            assert rebuilt == name

@@ -1,0 +1,74 @@
+"""Tests for quantile binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models.binning import QuantileBinner
+
+
+class TestQuantileBinner:
+    def test_rejects_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(1)
+        with pytest.raises(ValueError):
+            QuantileBinner(300)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner().transform(np.zeros((2, 2)))
+
+    def test_bins_monotone_in_values(self):
+        X = np.linspace(0, 1, 1000).reshape(-1, 1)
+        binner = QuantileBinner(16)
+        binned = binner.fit_transform(X)
+        assert (np.diff(binned[:, 0].astype(int)) >= 0).all()
+        assert binned.max() <= 15
+
+    def test_constant_column_single_bin(self):
+        X = np.full((100, 1), 3.0)
+        binner = QuantileBinner(16)
+        binned = binner.fit_transform(X)
+        assert binner.n_bins(0) == 1
+        assert (binned == 0).all()
+
+    def test_threshold_consistency(self):
+        """split 'bin <= k' must equal 'value <= threshold(k)'."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 1))
+        binner = QuantileBinner(32)
+        binned = binner.fit_transform(X)
+        for k in (0, 5, 15, 30):
+            if k >= binner.n_bins(0) - 1:
+                continue
+            threshold = binner.threshold(0, k)
+            np.testing.assert_array_equal(binned[:, 0] <= k, X[:, 0] <= threshold)
+
+    def test_threshold_out_of_range(self):
+        binner = QuantileBinner(4)
+        binner.fit(np.arange(10.0).reshape(-1, 1))
+        with pytest.raises(IndexError):
+            binner.threshold(0, 99)
+
+    def test_feature_count_mismatch(self):
+        binner = QuantileBinner(4)
+        binner.fit(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            binner.transform(np.zeros((5, 3)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=4,
+            max_size=200,
+        )
+    )
+    def test_transform_deterministic_and_bounded(self, values):
+        X = np.array(values).reshape(-1, 1)
+        binner = QuantileBinner(16)
+        a = binner.fit_transform(X)
+        b = binner.transform(X)
+        np.testing.assert_array_equal(a, b)
+        assert a.max() < 16

@@ -1,0 +1,179 @@
+"""Tests for the LSVM, the MLP and the naive Bayes family."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.bayes import BernoulliNB, ComplementNB, GaussianNB, MultinomialNB
+from repro.core.models.linear import LinearSVM
+from repro.core.models.nn import NeuralNetwork
+
+
+def linear_data(n=1500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = (X[:, 0] - X[:, 2] > 0).astype(int)
+    return X, y
+
+
+class TestLinearSVM:
+    def test_learns_separable(self):
+        X, y = linear_data()
+        model = LinearSVM().fit(X[:1000], y[:1000])
+        acc = (model.predict(X[1000:]) == y[1000:]).mean()
+        assert acc > 0.95
+
+    def test_hinge_variant(self):
+        X, y = linear_data()
+        model = LinearSVM(loss="hinge").fit(X[:1000], y[:1000])
+        acc = (model.predict(X[1000:]) == y[1000:]).mean()
+        assert acc > 0.9
+
+    def test_balanced_class_weight_raises_minority_recall(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(2000, 3))
+        y = (X[:, 0] > 1.5).astype(int)  # ~7 % positives
+        plain = LinearSVM(C=0.01).fit(X, y)
+        balanced = LinearSVM(C=0.01, class_weight="balanced").fit(X, y)
+        recall_plain = (plain.predict(X)[y == 1] == 1).mean()
+        recall_balanced = (balanced.predict(X)[y == 1] == 1).mean()
+        assert recall_balanced >= recall_plain
+
+    def test_decision_function_sign_matches_predict(self):
+        X, y = linear_data(n=300)
+        model = LinearSVM().fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict(X), (model.decision_function(X) >= 0).astype(int)
+        )
+
+    def test_proba_monotone_in_margin(self):
+        X, y = linear_data(n=300)
+        model = LinearSVM().fit(X, y)
+        margin = model.decision_function(X)
+        proba = model.predict_proba(X)
+        order = np.argsort(margin)
+        assert (np.diff(proba[order]) >= -1e-12).all()
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0)
+        with pytest.raises(ValueError):
+            LinearSVM(loss="l2")
+        with pytest.raises(ValueError):
+            LinearSVM(class_weight="auto")
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+
+class TestNeuralNetwork:
+    def test_learns_separable(self):
+        X, y = linear_data()
+        model = NeuralNetwork(n_hidden=16, epochs=30, seed=1).fit(X[:1000], y[:1000])
+        acc = (model.predict(X[1000:]) == y[1000:]).mean()
+        assert acc > 0.93
+
+    def test_learns_nonlinear(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(2000, 2))
+        y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 0.4).astype(int)
+        model = NeuralNetwork(n_hidden=32, epochs=80, seed=1).fit(X[:1500], y[:1500])
+        acc = (model.predict(X[1500:]) == y[1500:]).mean()
+        assert acc > 0.9
+
+    def test_dropout_still_learns(self):
+        X, y = linear_data()
+        model = NeuralNetwork(n_hidden=32, dropout=0.3, epochs=40, seed=1).fit(
+            X[:1000], y[:1000]
+        )
+        acc = (model.predict(X[1000:]) == y[1000:]).mean()
+        assert acc > 0.9
+
+    def test_deterministic_given_seed(self):
+        X, y = linear_data(n=300)
+        a = NeuralNetwork(epochs=5, seed=7).fit(X, y).predict_proba(X)
+        b = NeuralNetwork(epochs=5, seed=7).fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork(n_hidden=0)
+        with pytest.raises(ValueError):
+            NeuralNetwork(dropout=1.0)
+        with pytest.raises(ValueError):
+            NeuralNetwork(learning_rate=0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            NeuralNetwork().predict(np.zeros((1, 2)))
+
+
+class TestGaussianNB:
+    def test_learns_shifted_gaussians(self):
+        rng = np.random.default_rng(0)
+        X0 = rng.normal(0.0, 1.0, size=(500, 3))
+        X1 = rng.normal(2.0, 1.0, size=(500, 3))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 500 + [1] * 500)
+        model = GaussianNB().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_hand_computed_means(self):
+        X = np.array([[0.0], [2.0], [10.0], [12.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(model.theta_[:, 0], [1.0, 11.0])
+
+    def test_proba_sums_to_one_ish(self):
+        X, y = linear_data(n=200)
+        model = GaussianNB().fit(X, y)
+        proba = model.predict_proba(X)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_var_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=-1)
+
+
+class TestDiscreteNB:
+    def non_negative_data(self, n=600, seed=0):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        # Class-dependent feature *composition* (multinomial NB models
+        # proportions, so per-feature rates must differ between classes).
+        lam = np.where(y[:, None] == 1, [6.0, 1.0, 1.0, 2.0], [1.0, 6.0, 2.0, 1.0])
+        X = rng.poisson(lam=lam).astype(float)
+        return X, y
+
+    @pytest.mark.parametrize("cls", [MultinomialNB, ComplementNB])
+    def test_learns_count_data(self, cls):
+        X, y = self.non_negative_data()
+        model = cls().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_bernoulli_binarizes(self):
+        X, y = self.non_negative_data()
+        model = BernoulliNB(binarize=2.0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.8
+
+    def test_bernoulli_default_binarize_is_zero(self):
+        assert BernoulliNB().binarize == 0.0
+
+    @pytest.mark.parametrize("cls", [MultinomialNB, ComplementNB])
+    def test_rejects_negative_features(self, cls):
+        with pytest.raises(ValueError, match="non-negative"):
+            cls().fit(np.array([[-1.0], [1.0]]), np.array([0, 1]))
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            MultinomialNB(alpha=-1)
+
+    def test_multinomial_hand_computed(self):
+        """Check smoothed feature log-probabilities on a tiny example."""
+        X = np.array([[2.0, 0.0], [0.0, 2.0]])
+        y = np.array([0, 1])
+        model = MultinomialNB(alpha=1.0).fit(X, y)
+        # Class 0 counts: [2, 0] -> smoothed [3, 1] / 4.
+        np.testing.assert_allclose(
+            np.exp(model.feature_log_prob_[0]), [0.75, 0.25]
+        )

@@ -1,0 +1,90 @@
+"""Tests for the multi-label rule-tag predictor (§5.2.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features.aggregation import aggregate
+from repro.core.multiclass import RuleTagPredictor
+from repro.core.rules.model import PortMatch, TaggingRule
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+def build_corpus(n_bins=120, seed=0):
+    """Alternating NTP / DNS attacks plus benign noise, annotated with
+    two per-vector rules."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for b in range(n_bins):
+        t = b * 60
+        port = 123 if b % 2 == 0 else 53
+        size = 23400 if port == 123 else 55000
+        for k in range(4):
+            records.append(
+                make_flow(time=t + k, src_ip=int(rng.integers(1000, 1100)),
+                          dst_ip=1 + (b % 3), src_port=port,
+                          packets=50, bytes_=size, blackhole=True)
+            )
+        records.append(
+            make_flow(time=t + 10, src_ip=int(rng.integers(5000, 5100)),
+                      dst_ip=50 + (b % 5), src_port=443, protocol=6,
+                      packets=8, bytes_=9600)
+        )
+    rules = [
+        TaggingRule(rule_id="ntp-rule", confidence=0.99, support=0.1,
+                    protocol=17, port_src=PortMatch(values=frozenset({123}))),
+        TaggingRule(rule_id="dns-rule", confidence=0.99, support=0.1,
+                    protocol=17, port_src=PortMatch(values=frozenset({53}))),
+    ]
+    return aggregate(FlowDataset.from_records(records), rules=rules)
+
+
+class TestRuleTagPredictor:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        data = build_corpus()
+        half = int(np.quantile(data.bins, 0.5))
+        train, test = data.time_split(half)
+        predictor = RuleTagPredictor(min_support=5, n_estimators=10, max_depth=3)
+        predictor.fit(train)
+        return predictor, test
+
+    def test_models_both_rules(self, fitted):
+        predictor, _ = fitted
+        assert set(predictor.modelled_rules) == {"ntp-rule", "dns-rule"}
+
+    def test_predicts_matching_rules(self, fitted):
+        predictor, test = fitted
+        reports = predictor.evaluate(test)
+        for report in reports:
+            assert report.support > 0
+            assert report.precision > 0.8, report
+            assert report.recall > 0.8, report
+
+    def test_benign_records_get_no_tags(self, fitted):
+        predictor, test = fitted
+        predicted = predictor.predict_tags(test)
+        benign = ~test.labels
+        wrong = sum(1 for i in np.flatnonzero(benign) if predicted[i])
+        assert wrong / max(int(benign.sum()), 1) < 0.2
+
+    def test_requires_annotations(self, handmade_flows):
+        data = aggregate(handmade_flows)  # no rules
+        with pytest.raises(ValueError, match="annotations"):
+            RuleTagPredictor().fit(data)
+
+    def test_requires_fit(self):
+        data = build_corpus(n_bins=4)
+        with pytest.raises(RuntimeError):
+            RuleTagPredictor().predict_tags(data)
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            RuleTagPredictor(min_support=0)
+
+    def test_rare_rules_skipped(self):
+        data = build_corpus(n_bins=30)
+        predictor = RuleTagPredictor(min_support=10**6)
+        predictor.fit(data)
+        assert predictor.modelled_rules == ()
+        assert all(tags == () for tags in predictor.predict_tags(data))

@@ -1,0 +1,53 @@
+"""Tests for field constants and the DDoS-port taxonomy."""
+
+from repro.netflow import fields
+from repro.netflow.fields import (
+    PROTO_GRE,
+    PROTO_TCP,
+    PROTO_UDP,
+    WELL_KNOWN_DDOS_PORTS,
+    ddos_port_label,
+)
+
+
+class TestDdosPortLabel:
+    def test_udp_fragments(self):
+        assert ddos_port_label(PROTO_UDP, 0) == "UDP Fragm."
+
+    def test_ntp(self):
+        assert ddos_port_label(PROTO_UDP, 123) == "NTP"
+
+    def test_dns_udp_and_tcp_distinct(self):
+        assert ddos_port_label(PROTO_UDP, 53) == "DNS"
+        assert ddos_port_label(PROTO_TCP, 53) == "DNS (TCP)"
+
+    def test_gre(self):
+        assert ddos_port_label(PROTO_GRE, 0) == "GRE"
+
+    def test_benign_ports_unlabelled(self):
+        assert ddos_port_label(PROTO_TCP, 443) is None
+        assert ddos_port_label(PROTO_TCP, 80) is None
+        assert ddos_port_label(PROTO_UDP, 51820) is None
+
+    def test_tcp_port_zero_not_fragment(self):
+        """Fragment reporting is a UDP-exporter artefact."""
+        assert ddos_port_label(PROTO_TCP, 0) is None
+
+    def test_taxonomy_covers_fig4a_vectors(self):
+        names = set(WELL_KNOWN_DDOS_PORTS.values())
+        for expected in (
+            "DNS", "NTP", "SNMP", "LDAP", "SSDP", "memcached", "chargen",
+            "WS-Discovery", "Apple RD", "MSSQL", "rpcbind", "NetBios",
+            "RIP", "OpenVPN", "TFTP", "Ubiq. SD", "WCCP", "DHCPDisc.",
+            "GRE", "Micr. TS",
+        ):
+            assert expected in names, expected
+
+    def test_ports_in_range(self):
+        for (proto, port) in WELL_KNOWN_DDOS_PORTS:
+            assert 0 <= port <= 0xFFFF
+            assert proto in (PROTO_UDP, PROTO_TCP, PROTO_GRE)
+
+    def test_protocol_names(self):
+        assert fields.PROTOCOL_NAMES[PROTO_UDP] == "UDP"
+        assert fields.PROTOCOL_NAMES[PROTO_TCP] == "TCP"

@@ -1,0 +1,49 @@
+"""Round-trip tests for flow dataset serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.netflow.dataset import FlowDataset
+from repro.netflow.io import load_csv, load_npz, save_csv, save_npz
+
+
+def _assert_equal(a: FlowDataset, b: FlowDataset) -> None:
+    assert len(a) == len(b)
+    for name, column in a.to_columns().items():
+        np.testing.assert_array_equal(column, b.to_columns()[name])
+
+
+class TestNpz:
+    def test_roundtrip(self, handmade_flows, tmp_path):
+        path = tmp_path / "flows.npz"
+        save_npz(handmade_flows, path)
+        _assert_equal(handmade_flows, load_npz(path))
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(FlowDataset.empty(), path)
+        assert len(load_npz(path)) == 0
+
+    def test_creates_parent_dirs(self, handmade_flows, tmp_path):
+        path = tmp_path / "nested" / "dir" / "flows.npz"
+        save_npz(handmade_flows, path)
+        assert path.exists()
+
+
+class TestCsv:
+    def test_roundtrip(self, handmade_flows, tmp_path):
+        path = tmp_path / "flows.csv"
+        save_csv(handmade_flows, path)
+        _assert_equal(handmade_flows, load_csv(path))
+
+    def test_header_present(self, handmade_flows, tmp_path):
+        path = tmp_path / "flows.csv"
+        save_csv(handmade_flows, path)
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("time,src_ip")
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_csv(path)

@@ -1,0 +1,128 @@
+"""Tests for the binary (sFlow-style) flow interchange format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow.dataset import FlowDataset
+from repro.netflow.sflow import (
+    FORMAT_VERSION,
+    MAGIC,
+    RECORDS_PER_DATAGRAM,
+    decode,
+    encode,
+    encode_datagrams,
+)
+from tests.conftest import make_flow
+
+
+def _assert_equal(a: FlowDataset, b: FlowDataset) -> None:
+    assert len(a) == len(b)
+    for name, column in a.to_columns().items():
+        np.testing.assert_array_equal(column, b.to_columns()[name], err_msg=name)
+
+
+class TestRoundtrip:
+    def test_small_roundtrip(self, handmade_flows):
+        result = decode(encode(handmade_flows))
+        _assert_equal(handmade_flows, result.flows)
+        assert result.datagrams == 1
+        assert not result.saturated
+
+    def test_empty_roundtrip(self):
+        result = decode(encode(FlowDataset.empty()))
+        assert len(result.flows) == 0
+        assert result.datagrams == 1
+
+    def test_multi_datagram(self):
+        flows = FlowDataset.from_records(
+            [make_flow(time=i, src_port=i % 1000) for i in range(3 * RECORDS_PER_DATAGRAM + 7)]
+        )
+        result = decode(encode(flows))
+        _assert_equal(flows, result.flows)
+        assert result.datagrams == 4
+
+    def test_blackhole_flag_preserved(self):
+        flows = FlowDataset.from_records(
+            [make_flow(time=0, blackhole=True), make_flow(time=1, blackhole=False)]
+        )
+        result = decode(encode(flows))
+        np.testing.assert_array_equal(result.flows.blackhole, [True, False])
+
+    def test_counter_saturation_flagged(self):
+        flows = FlowDataset.from_records(
+            [make_flow(packets=2**33, bytes_=2**34)]
+        )
+        result = decode(encode(flows))
+        assert result.saturated
+        assert result.flows.packets[0] == 2**32 - 1
+
+    def test_mac_roundtrip(self):
+        flows = FlowDataset.from_records([make_flow(src_mac=0xA1B2C3D4E5F6)])
+        result = decode(encode(flows))
+        assert result.flows.src_mac[0] == 0xA1B2C3D4E5F6
+
+
+class TestErrors:
+    def test_bad_magic(self, handmade_flows):
+        payload = bytearray(encode(handmade_flows))
+        payload[0:4] = b"XXXX"
+        with pytest.raises(ValueError, match="magic"):
+            decode(bytes(payload))
+
+    def test_bad_version(self, handmade_flows):
+        payload = bytearray(encode(handmade_flows))
+        payload[4:6] = (FORMAT_VERSION + 1).to_bytes(2, "big")
+        with pytest.raises(ValueError, match="version"):
+            decode(bytes(payload))
+
+    def test_truncated_body(self, handmade_flows):
+        payload = encode(handmade_flows)
+        with pytest.raises(ValueError, match="truncated"):
+            decode(payload[:-5])
+
+    def test_sequence_gap_detected(self):
+        flows = FlowDataset.from_records(
+            [make_flow(time=i) for i in range(2 * RECORDS_PER_DATAGRAM)]
+        )
+        datagrams = list(encode_datagrams(flows, first_sequence=0))
+        assert len(datagrams) == 2
+        # Re-number the second datagram to simulate loss.
+        tampered = bytearray(datagrams[1])
+        tampered[10:14] = (7).to_bytes(4, "big")
+        with pytest.raises(ValueError, match="loss"):
+            decode(datagrams[0] + bytes(tampered))
+
+    def test_first_sequence_offset(self, handmade_flows):
+        payload = encode(handmade_flows, first_sequence=41)
+        result = decode(payload)
+        assert result.datagrams == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**40),  # time
+            st.integers(min_value=0, max_value=2**32 - 1),  # src ip
+            st.integers(min_value=0, max_value=65535),  # src port
+            st.integers(min_value=1, max_value=2**25 - 1),  # packets (x64 bytes < u32)
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_roundtrip_property(rows):
+    flows = FlowDataset.from_records(
+        [
+            make_flow(
+                time=t, src_ip=ip, src_port=port, packets=packets,
+                bytes_=packets * 64, blackhole=bh,
+            )
+            for t, ip, port, packets, bh in rows
+        ]
+    )
+    result = decode(encode(flows))
+    _assert_equal(flows, result.flows)

@@ -1,0 +1,98 @@
+"""Tests for the simulated operator-curation study."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules.curation import (
+    DEFAULT_COHORT,
+    OperatorProfile,
+    curate,
+    run_study,
+)
+from repro.core.rules.model import PortMatch, RuleSet, RuleStatus, TaggingRule
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+def staged_rules():
+    return RuleSet(
+        [
+            TaggingRule(
+                rule_id="good", confidence=0.99, support=0.05,
+                protocol=17, port_src=PortMatch(values=frozenset({123})),
+            ),
+            TaggingRule(
+                rule_id="weak", confidence=0.82, support=0.01,
+                protocol=17, port_src=PortMatch(values=frozenset({9999})),
+            ),
+        ]
+    )
+
+
+def make_test_flows():
+    records = [
+        make_flow(time=i, src_port=123, blackhole=True) for i in range(50)
+    ] + [make_flow(time=i, src_port=443, protocol=6) for i in range(50)]
+    return FlowDataset.from_records(records)
+
+
+class TestOperatorProfile:
+    def test_rejects_extreme_error_rate(self):
+        with pytest.raises(ValueError):
+            OperatorProfile("x", error_rate=0.9)
+
+    def test_default_cohort_has_five_subjects(self):
+        """Two IXP operators + three authors (paper §5.1.3)."""
+        assert len(DEFAULT_COHORT) == 5
+
+
+class TestCurate:
+    def test_all_rules_decided(self, rng):
+        operator = OperatorProfile("x", error_rate=0.0)
+        curated, seconds = curate(staged_rules(), operator, rng)
+        assert curated.staged() == []
+        assert seconds > 0
+
+    def test_accepts_confident_rule(self, rng):
+        operator = OperatorProfile("x", error_rate=0.0, confidence_threshold=0.9)
+        curated, _ = curate(staged_rules(), operator, rng)
+        assert curated.get("good").status == RuleStatus.ACCEPT
+        assert curated.get("weak").status == RuleStatus.DECLINE
+
+    def test_error_rate_flips_decisions(self):
+        operator = OperatorProfile("x", error_rate=0.5, confidence_threshold=0.9)
+        flips = 0
+        for seed in range(20):
+            curated, _ = curate(staged_rules(), operator, np.random.default_rng(seed))
+            if curated.get("good").status == RuleStatus.DECLINE:
+                flips += 1
+        assert flips > 0
+
+    def test_original_set_untouched(self, rng):
+        rules = staged_rules()
+        curate(rules, OperatorProfile("x", error_rate=0.0), rng)
+        assert all(r.status == RuleStatus.STAGING for r in rules)
+
+
+class TestRunStudy:
+    def test_outputs_per_subject(self):
+        results = run_study(staged_rules(), make_test_flows(), seed=3)
+        assert len(results) == len(DEFAULT_COHORT)
+        for r in results:
+            assert 0.0 <= r.attack_dropped <= 1.0
+            assert 0.0 <= r.benign_dropped <= 1.0
+            assert r.minutes > 0
+
+    def test_good_rules_drop_attacks_not_benign(self):
+        results = run_study(staged_rules(), make_test_flows(), seed=3)
+        mean_attack = np.mean([r.attack_dropped for r in results])
+        mean_benign = np.mean([r.benign_dropped for r in results])
+        assert mean_attack > 0.5
+        assert mean_benign < 0.1
+
+    def test_deterministic_given_seed(self):
+        a = run_study(staged_rules(), make_test_flows(), seed=3)
+        b = run_study(staged_rules(), make_test_flows(), seed=3)
+        assert [(r.operator, r.n_accepted) for r in a] == [
+            (r.operator, r.n_accepted) for r in b
+        ]

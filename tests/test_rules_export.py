@@ -1,0 +1,101 @@
+"""Tests for FlowSpec / ACL rendering of tagging rules."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.core.rules.export import (
+    MAX_INVERTED_RANGES,
+    export_acl,
+    export_flowspec,
+    to_acl_line,
+    to_flowspec,
+)
+from repro.core.rules.model import PortMatch, TaggingRule
+
+
+def ntp_rule(**overrides):
+    defaults = dict(
+        rule_id="ntp00001",
+        confidence=0.976,
+        support=0.026,
+        protocol=17,
+        port_src=PortMatch(values=frozenset({123})),
+        packet_size=(400, 500),
+    )
+    defaults.update(overrides)
+    return TaggingRule(**defaults)
+
+
+class TestFlowSpec:
+    def test_basic_rendering(self):
+        fs = to_flowspec(ntp_rule())
+        assert "protocol =17" in fs.nlri
+        assert "source-port =123" in fs.nlri
+        assert "packet-length >=401&<=500" in fs.nlri
+        assert fs.action == "traffic-rate 0"
+        assert not fs.widened
+
+    def test_destination_scoping(self):
+        fs = to_flowspec(ntp_rule(), destination=Prefix.parse("192.0.2.1/32"))
+        assert "destination 192.0.2.1/32" in fs.nlri
+
+    def test_rate_limit_action(self):
+        fs = to_flowspec(ntp_rule(), rate_limit_bps=1_000_000)
+        assert fs.action == "traffic-rate 1000000"
+
+    def test_small_negated_set_inverted(self):
+        rule = ntp_rule(
+            port_dst=PortMatch(values=frozenset({0, 100}), negated=True)
+        )
+        fs = to_flowspec(rule)
+        assert not fs.widened
+        assert "destination-port" in fs.nlri
+        # Excluded ports 0 and 100 -> ranges [1,99] and [101,65535].
+        assert ">=1&<=99" in fs.nlri
+        assert ">=101&<=65535" in fs.nlri
+
+    def test_large_negated_set_widens(self):
+        excluded = frozenset(range(0, 2 * MAX_INVERTED_RANGES + 2, 2))
+        rule = ntp_rule(port_dst=PortMatch(values=excluded, negated=True))
+        fs = to_flowspec(rule)
+        assert fs.widened
+        assert "destination-port" not in fs.nlri
+        assert "# widened" in fs.render()
+
+    def test_multi_value_port_set(self):
+        rule = ntp_rule(port_src=PortMatch(values=frozenset({53, 123})))
+        fs = to_flowspec(rule)
+        assert "source-port =53|=123" in fs.nlri
+
+    def test_export_collection(self):
+        rules = [ntp_rule(), ntp_rule(rule_id="x2")]
+        exported = export_flowspec(rules)
+        assert len(exported) == 2
+        assert {fs.source_rule_id for fs in exported} == {"ntp00001", "x2"}
+
+
+class TestAclLine:
+    def test_basic_line(self):
+        line = to_acl_line(ntp_rule())
+        assert line.startswith("deny udp")
+        assert "src-port eq {123}" in line
+        assert "length 401-500" in line
+        assert "rule ntp00001" in line
+
+    def test_negated_dst_ports(self):
+        rule = ntp_rule(port_dst=PortMatch(values=frozenset({0, 17}), negated=True))
+        line = to_acl_line(rule)
+        assert "dst-port not-in {0,17}" in line
+
+    def test_wildcards(self):
+        rule = TaggingRule(rule_id="x", confidence=0.9, support=0.1, protocol=6)
+        line = to_acl_line(rule)
+        assert "tcp" in line
+        assert "src-port any" in line
+
+    def test_custom_action(self):
+        assert to_acl_line(ntp_rule(), action="police").startswith("police")
+
+    def test_export_collection(self):
+        lines = export_acl([ntp_rule(), ntp_rule(rule_id="y")])
+        assert len(lines) == 2

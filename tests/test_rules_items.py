@@ -1,0 +1,94 @@
+"""Tests for item encoding (flows -> ARM transactions)."""
+
+import pytest
+
+from repro.core.rules.items import (
+    ItemEncoder,
+    LABEL_BENIGN,
+    LABEL_BLACKHOLE,
+    OTHER,
+    deduplicate,
+    packet_size_bin_label,
+    parse_packet_size_bin,
+)
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+class TestPacketSizeBins:
+    def test_bin_label(self):
+        assert packet_size_bin_label(468.0) == "(400,500]"
+
+    def test_boundary_is_inclusive_upper(self):
+        assert packet_size_bin_label(500.0) == "(400,500]"
+        assert packet_size_bin_label(500.1) == "(500,600]"
+
+    def test_small_sizes(self):
+        assert packet_size_bin_label(64.0) == "(0,100]"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            packet_size_bin_label(0.0)
+
+    def test_parse_roundtrip(self):
+        assert parse_packet_size_bin("(400,500]") == (400, 500)
+
+    def test_parse_malformed(self):
+        with pytest.raises(ValueError):
+            parse_packet_size_bin("[400,500)")
+
+
+class TestItemEncoder:
+    def test_fit_identifies_popular_ports(self):
+        flows = FlowDataset.from_records(
+            [make_flow(src_port=123, dst_port=9000 + i) for i in range(50)]
+            + [make_flow(src_port=53, dst_port=80) for _ in range(50)]
+        )
+        encoder = ItemEncoder.fit(flows, top_k=5)
+        assert 123 in encoder.src_ports and 53 in encoder.src_ports
+
+    def test_rare_ports_become_other(self):
+        flows = FlowDataset.from_records(
+            [make_flow(src_port=123, dst_port=10000 + i) for i in range(100)]
+        )
+        encoder = ItemEncoder.fit(flows, top_k=3, min_share=0.05)
+        transactions = encoder.encode(flows)
+        dst_values = {dict(t)["port_dst"] for t in transactions}
+        assert dst_values == {OTHER}
+
+    def test_encode_structure(self, handmade_flows):
+        encoder = ItemEncoder.fit(handmade_flows)
+        transactions = encoder.encode(handmade_flows)
+        assert len(transactions) == len(handmade_flows)
+        attributes = [a for a, _ in transactions[0]]
+        assert attributes == ["protocol", "port_src", "port_dst", "packet_size"]
+
+    def test_encode_labeled_appends_class(self, handmade_flows):
+        encoder = ItemEncoder.fit(handmade_flows)
+        transactions = encoder.encode_labeled(handmade_flows)
+        labels = [t[-1] for t in transactions]
+        assert labels.count(LABEL_BLACKHOLE) == int(handmade_flows.blackhole.sum())
+        assert labels.count(LABEL_BENIGN) == int((~handmade_flows.blackhole).sum())
+
+    def test_empty_flows(self):
+        encoder = ItemEncoder.fit(FlowDataset.empty())
+        assert encoder.src_ports == frozenset()
+
+
+class TestDeduplicate:
+    def test_collapses_identical(self):
+        t = (("protocol", 17), ("port_src", 123))
+        weighted = deduplicate([t, t, t])
+        assert len(weighted) == 1
+        assert weighted[0][1] == 3
+
+    def test_order_insensitive(self):
+        a = (("protocol", 17), ("port_src", 123))
+        b = (("port_src", 123), ("protocol", 17))
+        weighted = deduplicate([a, b])
+        assert len(weighted) == 1 and weighted[0][1] == 2
+
+    def test_distinct_kept(self):
+        a = (("protocol", 17),)
+        b = (("protocol", 6),)
+        assert len(deduplicate([a, b])) == 2

@@ -1,0 +1,144 @@
+"""Tests for vectorised rule matching and JSON serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules.matcher import (
+    coverage,
+    match_any,
+    match_matrix,
+    matched_rule_ids,
+    rule_mask,
+)
+from repro.core.rules.model import PortMatch, RuleSet, RuleStatus, TaggingRule
+from repro.core.rules.serialization import (
+    dump_rules,
+    load_rules,
+    rule_from_dict,
+    rule_to_dict,
+)
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+@pytest.fixture
+def ntp_rule():
+    return TaggingRule(
+        rule_id="ntp00001",
+        confidence=0.976,
+        support=0.026,
+        protocol=17,
+        port_src=PortMatch(values=frozenset({123})),
+        packet_size=(400, 500),
+        status=RuleStatus.ACCEPT,
+        notes="NTP reflection with typical size.",
+    )
+
+
+@pytest.fixture
+def fragment_rule():
+    return TaggingRule(
+        rule_id="frag0001",
+        confidence=0.99,
+        support=0.05,
+        protocol=17,
+        port_src=PortMatch(values=frozenset({0})),
+        port_dst=PortMatch(values=frozenset({0})),
+        status=RuleStatus.ACCEPT,
+    )
+
+
+class TestMatching:
+    def test_rule_mask_matches_scalar(self, handmade_flows, ntp_rule):
+        mask = rule_mask(ntp_rule, handmade_flows)
+        for i in range(len(handmade_flows)):
+            record = handmade_flows.record(i)
+            assert mask[i] == ntp_rule.matches_record(
+                record.protocol, record.src_port, record.dst_port, record.packet_size
+            )
+
+    def test_negated_port_mask(self, handmade_flows):
+        rule = TaggingRule(
+            rule_id="neg", confidence=0.9, support=0.1,
+            port_dst=PortMatch(values=frozenset({5555, 6666}), negated=True),
+        )
+        mask = rule_mask(rule, handmade_flows)
+        assert mask.sum() == len(handmade_flows) - 2
+
+    def test_match_matrix_shape(self, handmade_flows, ntp_rule, fragment_rule):
+        matrix = match_matrix([ntp_rule, fragment_rule], handmade_flows)
+        assert matrix.shape == (len(handmade_flows), 2)
+
+    def test_match_matrix_empty_rules(self, handmade_flows):
+        assert match_matrix([], handmade_flows).shape == (len(handmade_flows), 0)
+
+    def test_match_any(self, handmade_flows, ntp_rule, fragment_rule):
+        any_mask = match_any([ntp_rule, fragment_rule], handmade_flows)
+        matrix = match_matrix([ntp_rule, fragment_rule], handmade_flows)
+        np.testing.assert_array_equal(any_mask, matrix.any(axis=1))
+
+    def test_matched_rule_ids(self, handmade_flows, ntp_rule, fragment_rule):
+        ids = matched_rule_ids([ntp_rule, fragment_rule], handmade_flows)
+        assert len(ids) == len(handmade_flows)
+        # Flow 0 is an NTP attack flow at 468 bytes.
+        assert "ntp00001" in ids[0]
+        # Flow 7 is a fragment flow (src/dst port 0).
+        assert "frag0001" in ids[7]
+
+    def test_coverage(self, handmade_flows, ntp_rule, fragment_rule):
+        scores = coverage([ntp_rule, fragment_rule], handmade_flows)
+        assert 0.0 <= scores["attack_dropped"] <= 1.0
+        assert scores["benign_dropped"] == 0.0
+        assert scores["attack_dropped"] > 0.0
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, ntp_rule):
+        assert rule_from_dict(rule_to_dict(ntp_rule)) == ntp_rule
+
+    def test_wildcards_roundtrip(self):
+        rule = TaggingRule(rule_id="x", confidence=0.9, support=0.1, protocol=17)
+        restored = rule_from_dict(rule_to_dict(rule))
+        assert restored.port_src is None
+        assert restored.packet_size is None
+
+    def test_negated_set_notation(self, handmade_flows):
+        rule = TaggingRule(
+            rule_id="x", confidence=0.9, support=0.1,
+            port_dst=PortMatch(values=frozenset({0, 17, 19}), negated=True),
+        )
+        data = rule_to_dict(rule)
+        assert data["port_dst"] == "~{0,17,19}"
+        assert rule_from_dict(data) == rule
+
+    def test_file_roundtrip(self, tmp_path, ntp_rule, fragment_rule):
+        path = tmp_path / "rules.json"
+        dump_rules([ntp_rule, fragment_rule], path)
+        restored = load_rules(path)
+        assert len(restored) == 2
+        assert restored.get("ntp00001") == ntp_rule
+
+    def test_status_preserved(self, tmp_path, ntp_rule):
+        path = tmp_path / "rules.json"
+        dump_rules([ntp_rule], path)
+        assert load_rules(path).get("ntp00001").status == RuleStatus.ACCEPT
+
+    def test_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"id": "x"}')
+        with pytest.raises(ValueError):
+            load_rules(path)
+
+    def test_accepts_integer_port(self):
+        rule = rule_from_dict(
+            {
+                "id": "y",
+                "protocol": 17,
+                "port_src": 123,
+                "port_dst": "*",
+                "packet_size": "*",
+                "confidence": 0.95,
+                "antecedent_support": 0.01,
+            }
+        )
+        assert rule.port_src == PortMatch(values=frozenset({123}))

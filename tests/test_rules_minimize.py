@@ -1,0 +1,76 @@
+"""Tests for Algorithm 1 (rule-set minimisation)."""
+
+import pytest
+
+from repro.core.rules.items import LABEL_BLACKHOLE
+from repro.core.rules.minimize import minimize_rules
+from repro.core.rules.mining import AssociationRule
+
+
+def rule(items: dict, confidence: float, support: float) -> AssociationRule:
+    return AssociationRule(
+        antecedent=frozenset(items.items()),
+        consequent=LABEL_BLACKHOLE,
+        confidence=confidence,
+        support=support,
+        joint_support=confidence * support,
+    )
+
+
+class TestMinimize:
+    def test_removes_redundant_general_rule(self):
+        general = rule({"a": 1}, confidence=0.90, support=0.10)
+        specific = rule({"a": 1, "b": 2}, confidence=0.895, support=0.095)
+        remaining = minimize_rules([general, specific], 0.01, 0.01)
+        assert remaining == [specific]
+
+    def test_keeps_general_rule_with_confidence_advantage(self):
+        general = rule({"a": 1}, confidence=0.95, support=0.10)
+        specific = rule({"a": 1, "b": 2}, confidence=0.85, support=0.09)
+        remaining = minimize_rules([general, specific], 0.01, 0.01)
+        assert set(remaining) == {general, specific}
+
+    def test_keeps_general_rule_with_support_advantage(self):
+        general = rule({"a": 1}, confidence=0.90, support=0.30)
+        specific = rule({"a": 1, "b": 2}, confidence=0.90, support=0.05)
+        remaining = minimize_rules([general, specific], 0.01, 0.01)
+        assert set(remaining) == {general, specific}
+
+    def test_unrelated_rules_untouched(self):
+        r1 = rule({"a": 1}, confidence=0.9, support=0.1)
+        r2 = rule({"b": 2}, confidence=0.9, support=0.1)
+        assert set(minimize_rules([r1, r2], 0.01, 0.01)) == {r1, r2}
+
+    def test_chain_collapses_to_most_specific(self):
+        r1 = rule({"a": 1}, confidence=0.9, support=0.10)
+        r2 = rule({"a": 1, "b": 2}, confidence=0.9, support=0.099)
+        r3 = rule({"a": 1, "b": 2, "c": 3}, confidence=0.9, support=0.098)
+        remaining = minimize_rules([r1, r2, r3], 0.01, 0.01)
+        assert remaining == [r3]
+
+    def test_empty_input(self):
+        assert minimize_rules([], 0.01, 0.01) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_rules([], -0.1, 0.01)
+
+    def test_higher_thresholds_remove_no_fewer(self):
+        rules = [
+            rule({"a": 1}, confidence=0.93, support=0.12),
+            rule({"a": 1, "b": 2}, confidence=0.90, support=0.08),
+            rule({"a": 1, "c": 3}, confidence=0.92, support=0.05),
+            rule({"d": 4}, confidence=0.99, support=0.30),
+        ]
+        loose = minimize_rules(rules, 0.1, 0.1)
+        strict = minimize_rules(rules, 0.001, 0.001)
+        assert len(loose) <= len(strict)
+
+    def test_fixed_point(self):
+        rules = [
+            rule({"a": 1}, confidence=0.9, support=0.1),
+            rule({"a": 1, "b": 2}, confidence=0.9, support=0.099),
+        ]
+        once = minimize_rules(rules, 0.01, 0.01)
+        twice = minimize_rules(once, 0.01, 0.01)
+        assert once == twice

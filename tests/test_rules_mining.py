@@ -1,0 +1,108 @@
+"""Tests for association-rule generation and the mining pipeline."""
+
+import pytest
+
+from repro.core.rules.items import LABEL_BLACKHOLE
+from repro.core.rules.mining import (
+    AssociationRule,
+    filter_blackhole_rules,
+    generate_rules,
+    mine_rules,
+)
+from repro.netflow.dataset import FlowDataset
+from tests.conftest import make_flow
+
+
+class TestGenerateRules:
+    def test_confidence_and_support(self):
+        # {a} appears 10x, {a, blackhole} 9x -> confidence 0.9.
+        a = frozenset({("x", "a")})
+        ab = frozenset({("x", "a"), LABEL_BLACKHOLE})
+        itemsets = {a: 10, ab: 9, frozenset({LABEL_BLACKHOLE}): 9}
+        rules = generate_rules(itemsets, total=20, min_confidence=0.8)
+        rule = next(r for r in rules if r.consequent == LABEL_BLACKHOLE)
+        assert rule.confidence == pytest.approx(0.9)
+        assert rule.support == pytest.approx(0.5)
+        assert rule.joint_support == pytest.approx(0.45)
+
+    def test_min_confidence_filters(self):
+        a = frozenset({("x", "a")})
+        ab = frozenset({("x", "a"), LABEL_BLACKHOLE})
+        itemsets = {a: 10, ab: 5, frozenset({LABEL_BLACKHOLE}): 5}
+        rules = generate_rules(itemsets, total=20, min_confidence=0.8)
+        assert not any(r.consequent == LABEL_BLACKHOLE for r in rules)
+
+    def test_all_consequents_considered(self):
+        """Every item of a frequent itemset can be the consequent."""
+        ab = frozenset({("x", "a"), ("y", "b")})
+        itemsets = {
+            frozenset({("x", "a")}): 10,
+            frozenset({("y", "b")}): 10,
+            ab: 10,
+        }
+        rules = generate_rules(itemsets, total=10, min_confidence=0.8)
+        consequents = {r.consequent for r in rules}
+        assert consequents == {("x", "a"), ("y", "b")}
+
+    def test_sorted_by_confidence(self):
+        itemsets = {
+            frozenset({("x", "a")}): 10,
+            frozenset({("x", "a"), LABEL_BLACKHOLE}): 9,
+            frozenset({("y", "b")}): 10,
+            frozenset({("y", "b"), LABEL_BLACKHOLE}): 10,
+            frozenset({LABEL_BLACKHOLE}): 12,
+        }
+        rules = generate_rules(itemsets, total=20, min_confidence=0.5)
+        blackhole_rules = filter_blackhole_rules(rules)
+        confidences = [r.confidence for r in blackhole_rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_empty_total(self):
+        assert generate_rules({}, total=0, min_confidence=0.5) == []
+
+
+class TestAssociationRule:
+    def test_rejects_empty_antecedent(self):
+        with pytest.raises(ValueError):
+            AssociationRule(
+                antecedent=frozenset(),
+                consequent=LABEL_BLACKHOLE,
+                confidence=0.9,
+                support=0.1,
+                joint_support=0.09,
+            )
+
+    def test_is_blackhole_rule(self):
+        rule = AssociationRule(
+            antecedent=frozenset({("port_src", 123)}),
+            consequent=LABEL_BLACKHOLE,
+            confidence=0.9,
+            support=0.1,
+            joint_support=0.09,
+        )
+        assert rule.is_blackhole_rule
+        assert "port_src=123" in rule.describe()
+
+
+class TestMineRules:
+    def test_finds_attack_signature(self):
+        """A clean NTP-attack signature must be mined."""
+        records = [
+            make_flow(time=i, src_port=123, dst_port=10000 + i, blackhole=True)
+            for i in range(200)
+        ] + [
+            make_flow(time=i, src_port=443, dst_port=20000 + i, bytes_=12000, blackhole=False)
+            for i in range(200)
+        ]
+        result = mine_rules(FlowDataset.from_records(records), min_support=0.01)
+        assert result.blackhole_rules
+        best = result.blackhole_rules[0]
+        assert ("port_src", 123) in best.antecedent or any(
+            ("port_src", 123) in r.antecedent for r in result.blackhole_rules
+        )
+        assert best.confidence > 0.95
+
+    def test_no_rules_on_pure_benign(self):
+        records = [make_flow(time=i, src_port=443) for i in range(50)]
+        result = mine_rules(FlowDataset.from_records(records), min_support=0.01)
+        assert result.blackhole_rules == []

@@ -1,0 +1,130 @@
+"""End-to-end tests for the two-step IXP Scrubber."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.metrics import fbeta_score
+from repro.core.rules.model import RuleStatus
+from repro.core.scrubber import IXPScrubber, ScrubberConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_scrubber_and_flows():
+    """A scrubber fitted on a tiny vantage point (module-scoped: slow)."""
+    import numpy as np
+
+    from repro.core.labeling import balance, label_capture
+    from repro.ixp.fabric import IXPFabric
+    from repro.ixp.profiles import IXPProfile
+    from repro.traffic.workload import WorkloadGenerator
+
+    profile = IXPProfile(
+        name="IXP-TEST", region=7, n_members=8, traffic_scale=0.01,
+        attacks_per_day=12.0, attack_intensity=25.0,
+        benign_flows_per_target=5.0, benign_targets_per_minute=24,
+        bins_per_day=48, seed=42,
+    )
+    fabric = IXPFabric(profile)
+    capture = WorkloadGenerator(fabric).generate(0, 3)
+    balanced = balance(label_capture(capture), np.random.default_rng(1))
+    scrubber = IXPScrubber(ScrubberConfig(model="XGB", model_params={"n_estimators": 20}))
+    scrubber.fit(balanced.flows)
+    return scrubber, balanced.flows
+
+
+class TestFit:
+    def test_rules_mined(self, fitted_scrubber_and_flows):
+        scrubber, _ = fitted_scrubber_and_flows
+        assert len(scrubber.rule_set) > 0
+        assert len(scrubber.accepted_rules) > 0
+
+    def test_predict_flows_returns_verdicts(self, fitted_scrubber_and_flows):
+        scrubber, flows = fitted_scrubber_and_flows
+        verdicts = scrubber.predict_flows(flows)
+        assert len(verdicts) > 0
+        assert any(v.is_ddos for v in verdicts)
+        assert any(not v.is_ddos for v in verdicts)
+        for v in verdicts[:20]:
+            assert 0.0 <= v.score <= 1.0
+
+    def test_training_performance(self, fitted_scrubber_and_flows):
+        """In-sample performance must be high (sanity bound)."""
+        scrubber, flows = fitted_scrubber_and_flows
+        data = scrubber.aggregate_flows(flows)
+        predictions = scrubber.predict_aggregated(data)
+        assert fbeta_score(data.labels.astype(int), predictions) > 0.9
+
+    def test_generate_acls(self, fitted_scrubber_and_flows):
+        scrubber, flows = fitted_scrubber_and_flows
+        verdicts = scrubber.predict_flows(flows)
+        acls = scrubber.generate_acls(verdicts)
+        accepted_ids = {r.rule_id for r in scrubber.accepted_rules}
+        assert all(r.rule_id in accepted_ids for r in acls)
+        positive_rules = {
+            rule_id for v in verdicts if v.is_ddos for rule_id in v.matched_rules
+        }
+        assert {r.rule_id for r in acls} == positive_rules
+
+    def test_score_aggregated_probabilities(self, fitted_scrubber_and_flows):
+        scrubber, flows = fitted_scrubber_and_flows
+        data = scrubber.aggregate_flows(flows)
+        scores = scrubber.score_aggregated(data)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+
+class TestUnfitted:
+    def test_predict_requires_fit(self, handmade_flows):
+        with pytest.raises(RuntimeError):
+            IXPScrubber().predict_flows(handmade_flows)
+
+    def test_feature_matrix_requires_woe(self, handmade_flows):
+        from repro.core.features.aggregation import aggregate
+
+        scrubber = IXPScrubber()
+        with pytest.raises(RuntimeError):
+            scrubber.feature_matrix(aggregate(handmade_flows))
+
+
+class TestCuration:
+    def test_manual_curation_honoured(self, fitted_scrubber_and_flows):
+        scrubber, flows = fitted_scrubber_and_flows
+        rule = scrubber.accepted_rules[0]
+        scrubber.rule_set.set_status(rule.rule_id, RuleStatus.DECLINE)
+        try:
+            assert rule.rule_id not in {r.rule_id for r in scrubber.accepted_rules}
+        finally:
+            scrubber.rule_set.set_status(rule.rule_id, RuleStatus.ACCEPT)
+
+    def test_no_auto_accept_config(self, handmade_flows):
+        scrubber = IXPScrubber(ScrubberConfig(auto_accept_rules=False, min_support=0.01))
+        records = [handmade_flows.record(i) for i in range(len(handmade_flows))]
+        from repro.netflow.dataset import FlowDataset
+
+        # Repeat the handmade flows to clear min support thresholds.
+        flows = FlowDataset.concat([handmade_flows] * 20)
+        scrubber.mine_tagging_rules(flows)
+        assert scrubber.accepted_rules == []
+        assert len(scrubber.rule_set.staged()) > 0
+
+
+class TestTransfer:
+    def test_transfer_keeps_local_woe(self, fitted_scrubber_and_flows):
+        scrubber, flows = fitted_scrubber_and_flows
+        other = IXPScrubber(ScrubberConfig(model="XGB", model_params={"n_estimators": 5}))
+        data = scrubber.aggregate_flows(flows)
+        other.fit_aggregated(data)
+        transferred = scrubber.transfer_classifier_from(other)
+        assert transferred.woe is scrubber.woe
+        assert transferred.pipeline is other.pipeline
+        predictions = transferred.predict_aggregated(data)
+        assert predictions.shape == (len(data),)
+
+    def test_transfer_requires_fitted_source(self, fitted_scrubber_and_flows):
+        scrubber, _ = fitted_scrubber_and_flows
+        with pytest.raises(RuntimeError):
+            scrubber.transfer_classifier_from(IXPScrubber())
+
+    def test_transfer_requires_local_woe(self, fitted_scrubber_and_flows):
+        scrubber, _ = fitted_scrubber_and_flows
+        with pytest.raises(RuntimeError):
+            IXPScrubber().transfer_classifier_from(scrubber)

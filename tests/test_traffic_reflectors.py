@@ -1,0 +1,51 @@
+"""Tests for per-region reflector pools."""
+
+import numpy as np
+
+from repro.traffic.reflectors import ReflectorPool
+from repro.traffic.vectors import DNS, NTP
+
+
+class TestReflectorPool:
+    def test_deterministic(self):
+        a = ReflectorPool(region=0, seed=1)
+        b = ReflectorPool(region=0, seed=1)
+        np.testing.assert_array_equal(a.reflectors(NTP), b.reflectors(NTP))
+
+    def test_different_regions_mostly_disjoint(self):
+        a = ReflectorPool(region=0, seed=1, shared_fraction=0.05)
+        b = ReflectorPool(region=1, seed=2, shared_fraction=0.05)
+        overlap = a.overlap(b, NTP)
+        assert overlap < 0.1
+
+    def test_shared_fraction_creates_overlap(self):
+        a = ReflectorPool(region=0, seed=1, shared_fraction=0.2)
+        b = ReflectorPool(region=1, seed=2, shared_fraction=0.2)
+        assert a.overlap(b, NTP) > 0.0
+
+    def test_zero_shared_fraction_fully_disjoint(self):
+        a = ReflectorPool(region=0, seed=1, shared_fraction=0.0)
+        b = ReflectorPool(region=1, seed=2, shared_fraction=0.0)
+        assert a.overlap(b, NTP) == 0.0
+
+    def test_vectors_have_distinct_pools(self):
+        pool = ReflectorPool(region=0, seed=1)
+        assert set(pool.reflectors(NTP)) != set(pool.reflectors(DNS))
+
+    def test_sample_is_skewed(self, rng):
+        """A minority of reflectors should carry most attack flows."""
+        pool = ReflectorPool(region=0, seed=1)
+        samples = pool.sample(NTP, rng, 5000)
+        _, counts = np.unique(samples, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top_share = counts[: max(1, counts.size // 10)].sum() / counts.sum()
+        assert top_share > 0.3
+
+    def test_sample_draws_from_pool(self, rng):
+        pool = ReflectorPool(region=0, seed=1)
+        samples = pool.sample("NTP", rng, 100)
+        assert np.isin(samples, pool.reflectors("NTP")).all()
+
+    def test_overlap_identity(self):
+        pool = ReflectorPool(region=0, seed=1)
+        assert pool.overlap(pool, NTP) == 1.0

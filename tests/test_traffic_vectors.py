@@ -1,0 +1,74 @@
+"""Tests for the DDoS vector catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.netflow.fields import PROTO_TCP, PROTO_UDP, ddos_port_label
+from repro.traffic.vectors import (
+    ALL_VECTORS,
+    DDoSVector,
+    NTP,
+    TOP_VECTORS,
+    VECTOR_BY_NAME,
+    vector_by_name,
+)
+
+
+class TestCatalogue:
+    def test_names_unique(self):
+        names = [v.name for v in ALL_VECTORS]
+        assert len(names) == len(set(names))
+
+    def test_top_vectors_subset(self):
+        assert set(TOP_VECTORS) <= set(ALL_VECTORS)
+
+    def test_lookup(self):
+        assert vector_by_name("NTP") is NTP
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            vector_by_name("smurf")
+
+    def test_every_udp_vector_is_a_known_ddos_port(self):
+        """The catalogue must align with the Fig. 4a port taxonomy."""
+        for vector in ALL_VECTORS:
+            if vector.protocol == PROTO_UDP and vector.src_port != 0:
+                assert ddos_port_label(vector.protocol, vector.src_port) is not None, vector.name
+
+    def test_ntp_monlist_signature(self):
+        """NTP replies cluster around the well-known ~468 byte monlist size."""
+        assert 400 <= NTP.packet_size_mean <= 500
+
+    def test_amplification_factors_sane(self):
+        for vector in ALL_VECTORS:
+            assert vector.amplification >= 1.0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DDoSVector("x", PROTO_UDP, 1, packet_size_mean=0, packet_size_std=1, amplification=2)
+
+    def test_rejects_bad_fragment_fraction(self):
+        with pytest.raises(ValueError):
+            DDoSVector(
+                "x", PROTO_UDP, 1, packet_size_mean=100, packet_size_std=1,
+                amplification=2, fragment_fraction=1.5,
+            )
+
+    def test_rejects_deamplification(self):
+        with pytest.raises(ValueError):
+            DDoSVector("x", PROTO_UDP, 1, packet_size_mean=100, packet_size_std=1, amplification=0.5)
+
+
+class TestSampling:
+    def test_sample_packet_sizes_bounds(self):
+        rng = np.random.default_rng(0)
+        sizes = NTP.sample_packet_sizes(rng, 1000)
+        assert sizes.shape == (1000,)
+        assert (sizes >= 64).all() and (sizes <= 1500).all()
+
+    def test_sample_mean_near_signature(self):
+        rng = np.random.default_rng(0)
+        sizes = NTP.sample_packet_sizes(rng, 5000)
+        assert abs(sizes.mean() - NTP.packet_size_mean) < 10
