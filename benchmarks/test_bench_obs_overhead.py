@@ -1,0 +1,100 @@
+"""Guardrail: `repro.obs` instrumentation overhead on the core-ops path.
+
+The observability layer is always on by default, so its cost on the
+operations that dominate pipeline wall-clock (the same ones timed by
+``test_bench_core_ops.py``: balancing, aggregation, WoE fitting, feature
+assembly) must stay in the noise. This benchmark times the chain with
+instrumentation enabled vs. globally disabled (``obs.disable()``) and
+asserts the enabled/disabled ratio stays under 1.05 (< 5 % overhead).
+
+Min-of-N timing is used on both sides — the standard way to strip
+scheduler noise from a deterministic workload — with the enabled and
+disabled runs interleaved so thermal/frequency drift hits both equally.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.encoding.matrix import assemble
+from repro.core.encoding.woe import WoEEncoder
+from repro.core.features.aggregation import aggregate
+from repro.core.labeling.balancer import balance
+from repro.ixp.fabric import IXPFabric
+from repro.ixp.profiles import IXP_SE
+from repro.traffic.workload import WorkloadGenerator
+
+#: Maximum tolerated enabled/disabled wall-clock ratio.
+MAX_OVERHEAD_RATIO = 1.05
+ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def labeled_corpus():
+    fabric = IXPFabric(IXP_SE)
+    capture = WorkloadGenerator(fabric).generate(0, 1)
+    return capture.labeled_flows()
+
+
+def _core_ops(labeled):
+    """One pass over the instrumented core-op chain."""
+    balanced = balance(labeled, np.random.default_rng(0)).flows
+    data = aggregate(balanced)
+    woe = WoEEncoder().fit(data)
+    matrix = assemble(data, woe)
+    return matrix
+
+
+def test_bench_obs_overhead_under_5_percent(labeled_corpus):
+    assert obs.is_enabled(), "obs must start enabled (the default)"
+    enabled_times = []
+    disabled_times = []
+    try:
+        # Warm-up once per mode (allocator, caches, lazy imports).
+        _core_ops(labeled_corpus)
+        obs.disable()
+        _core_ops(labeled_corpus)
+        obs.enable()
+
+        for _ in range(ROUNDS):
+            obs.disable()
+            t0 = time.perf_counter()
+            _core_ops(labeled_corpus)
+            disabled_times.append(time.perf_counter() - t0)
+
+            obs.enable()
+            # A fresh registry per round keeps instrument lookup honest
+            # (no warm single-entry dict) without unbounded growth.
+            with obs.use_registry(obs.MetricRegistry()):
+                t0 = time.perf_counter()
+                _core_ops(labeled_corpus)
+                enabled_times.append(time.perf_counter() - t0)
+    finally:
+        obs.enable()
+
+    best_disabled = min(disabled_times)
+    best_enabled = min(enabled_times)
+    ratio = best_enabled / best_disabled
+    print(
+        f"\ncore-ops: disabled {best_disabled * 1e3:.1f} ms, "
+        f"enabled {best_enabled * 1e3:.1f} ms, ratio {ratio:.4f}"
+    )
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"instrumentation overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD_RATIO - 1):.0f}% budget"
+    )
+
+
+def test_bench_obs_instrument_call_cost(benchmark):
+    """Microbenchmark: one counter inc + one span enter/exit."""
+    registry = obs.MetricRegistry()
+
+    def one_round():
+        with obs.use_registry(registry):
+            with obs.span("bench.span"):
+                obs.counter("bench.counter").inc()
+
+    benchmark(one_round)
+    assert registry.counter("bench.counter").value > 0

@@ -23,6 +23,7 @@ Quickstart::
     verdicts = scrubber.predict_flows(balanced.flows)
 """
 
+from repro import obs
 from repro.core import (
     Explanation,
     IXPScrubber,
@@ -38,7 +39,7 @@ from repro.core import (
 from repro.core.features import AggregatedDataset, aggregate
 from repro.core.multiclass import RuleTagPredictor
 from repro.core.persistence import load_scrubber, save_scrubber
-from repro.core.streaming import StreamingScrubber
+from repro.core.streaming import StreamingScrubber, StreamingStats
 from repro.core.labeling import BalancedDataset, balance, label_capture
 from repro.core.models import (
     ConfusionMatrix,
@@ -99,6 +100,8 @@ __all__ = [
     "minimize_rules",
     "RuleTagPredictor",
     "StreamingScrubber",
+    "StreamingStats",
+    "obs",
     "export_acl",
     "export_flowspec",
     "save_scrubber",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — same CLI as the ``repro``/``ixp-scrubber`` scripts."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

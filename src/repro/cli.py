@@ -1,17 +1,29 @@
-"""Command-line interface.
+"""Command-line interface (installed as both ``repro`` and ``ixp-scrubber``).
 
-``ixp-scrubber list`` shows the available experiments;
-``ixp-scrubber run <id> [--scale small|paper]`` executes one (or
-``all``) and prints its tables and headline notes.
+* ``repro list`` shows the available experiments;
+* ``repro run <id> [--scale small|paper]`` executes one (or ``all``)
+  and prints its tables and headline notes;
+* ``repro stats`` drives a short synthetic workload through the
+  streaming engine and prints the live metrics snapshot (counters,
+  histogram percentiles, per-phase span timings) — the operator view
+  documented in ``docs/METRICS.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.experiments import EXPERIMENTS, SCALES
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -40,9 +52,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a short synthetic streaming workload; print live metrics."""
+    from repro import obs
+    from repro.core.scrubber import ScrubberConfig
+    from repro.core.streaming import StreamingScrubber
+    from repro.ixp.fabric import IXPFabric
+    from repro.ixp.profiles import IXPProfile
+    from repro.traffic.workload import WorkloadGenerator
+
+    profile = IXPProfile(
+        name="IXP-STATS", region=11, n_members=8, traffic_scale=0.01,
+        attacks_per_day=14.0, attack_intensity=25.0,
+        benign_flows_per_target=5.0, benign_targets_per_minute=24,
+        bins_per_day=48, seed=args.seed,
+    )
+    print(
+        f"generating {args.days} synthetic day(s) at {profile.name} "
+        f"(seed {args.seed})...",
+        file=sys.stderr,
+    )
+    capture = WorkloadGenerator(IXPFabric(profile)).generate(0, args.days)
+    engine = StreamingScrubber(
+        config=ScrubberConfig(model="XGB", model_params={"n_estimators": 10}),
+        window_days=2,
+        bins_per_day=profile.bins_per_day,
+        seed=1,
+    )
+
+    flows = capture.flows
+    updates = sorted(capture.updates, key=lambda u: u.time)
+    bins = flows.time // 60
+    chunk_bins = 8
+    u = 0
+    n_verdicts = 0
+    start = time.perf_counter()
+    for chunk_start in range(int(bins.min()), int(bins.max()) + 1, chunk_bins):
+        mask = (bins >= chunk_start) & (bins < chunk_start + chunk_bins)
+        chunk_updates = []
+        limit = (chunk_start + chunk_bins) * 60
+        while u < len(updates) and updates[u].time < limit:
+            chunk_updates.append(updates[u])
+            u += 1
+        n_verdicts += len(engine.ingest(flows.select(mask), chunk_updates))
+    n_verdicts += len(engine.flush())
+    elapsed = time.perf_counter() - start
+
+    if args.format == "json":
+        print(json.dumps(obs.snapshot(engine.registry), sort_keys=True, indent=2))
+    elif args.format == "prometheus":
+        print(obs.prometheus_text(engine.registry), end="")
+    else:
+        print(obs.format_snapshot(engine.registry))
+        print(
+            f"\n[streamed {len(flows):,} flows -> {n_verdicts} verdicts "
+            f"in {elapsed:.1f}s; model ready: {engine.is_ready}]"
+        )
+    if args.jsonl:
+        obs.JsonLinesExporter(args.jsonl).export(
+            engine.registry, workload=profile.name, days=args.days
+        )
+        print(f"[snapshot appended to {args.jsonl}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="ixp-scrubber",
+        prog="repro",
         description="IXP Scrubber reproduction (SIGCOMM 2022) experiment runner",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -58,6 +134,31 @@ def main(argv: list[str] | None = None) -> int:
         "--plots", action="store_true", help="render series as ASCII sparklines"
     )
     run_parser.set_defaults(func=_cmd_run)
+    stats_parser = sub.add_parser(
+        "stats",
+        help="run a short synthetic streaming workload and print live metrics",
+    )
+    stats_parser.add_argument(
+        "--days",
+        type=_positive_int,
+        default=2,
+        help="simulated days to stream (default 2)",
+    )
+    stats_parser.add_argument(
+        "--seed", type=int, default=55, help="workload generator seed"
+    )
+    stats_parser.add_argument(
+        "--format",
+        choices=("text", "json", "prometheus"),
+        default="text",
+        help="snapshot output format",
+    )
+    stats_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also append the snapshot to this JSON-lines file",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
     args = parser.parse_args(argv)
     return args.func(args)
 

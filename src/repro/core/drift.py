@@ -13,9 +13,11 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.features.aggregation import AggregatedDataset
 from repro.core.models.metrics import fbeta_score
 from repro.core.scrubber import IXPScrubber, ScrubberConfig
+from repro.obs import names as metric_names
 
 
 def _day_of_bins(bins: np.ndarray, bins_per_day: int) -> np.ndarray:
@@ -42,6 +44,7 @@ def _fit_on(data: AggregatedDataset, config: ScrubberConfig) -> Optional[IXPScru
         return None
     scrubber = IXPScrubber(config)
     scrubber.fit_aggregated(data)
+    obs.counter(metric_names.C_DRIFT_MODELS_TRAINED).inc()
     return scrubber
 
 
@@ -51,6 +54,7 @@ def _score_day(
     if scrubber is None or len(day_data) == 0:
         return float("nan")
     predictions = scrubber.predict_aggregated(day_data)
+    obs.counter(metric_names.C_DRIFT_DAYS_SCORED).inc()
     return fbeta_score(day_data.labels.astype(int), predictions)
 
 
@@ -70,18 +74,19 @@ def one_shot_evaluation(
     window.
     """
     config = config or ScrubberConfig()
-    days = _day_of_bins(data.bins, bins_per_day)
-    first_day = int(days.min())
-    train_mask = days < first_day + train_days
-    scrubber = _fit_on(data.select(train_mask), config)
-    if eval_start_day is None:
-        eval_start_day = train_days
-    if eval_start_day < train_days:
-        raise ValueError("evaluation period overlaps the training window")
-    eval_days = np.unique(days[days >= first_day + eval_start_day])
-    scores = np.array(
-        [_score_day(scrubber, data.select(days == d)) for d in eval_days]
-    )
+    with obs.span(metric_names.SPAN_DRIFT_ONE_SHOT):
+        days = _day_of_bins(data.bins, bins_per_day)
+        first_day = int(days.min())
+        train_mask = days < first_day + train_days
+        scrubber = _fit_on(data.select(train_mask), config)
+        if eval_start_day is None:
+            eval_start_day = train_days
+        if eval_start_day < train_days:
+            raise ValueError("evaluation period overlaps the training window")
+        eval_days = np.unique(days[days >= first_day + eval_start_day])
+        scores = np.array(
+            [_score_day(scrubber, data.select(days == d)) for d in eval_days]
+        )
     return TemporalSeries(label=f"one-shot-{train_days}d", days=eval_days, scores=scores)
 
 
@@ -101,20 +106,21 @@ def sliding_window_evaluation(
     after the first full window).
     """
     config = config or ScrubberConfig()
-    days = _day_of_bins(data.bins, bins_per_day)
-    unique_days = np.unique(days)
-    if unique_days.size < window_days + 1:
-        raise ValueError("not enough days for the requested window")
-    start = window_days if eval_start_day is None else max(eval_start_day, window_days)
-    eval_days = []
-    scores = []
-    scrubber: Optional[IXPScrubber] = None
-    for k, day in enumerate(unique_days[start:]):
-        if scrubber is None or k % retrain_every == 0:
-            train_mask = (days >= day - window_days) & (days < day)
-            scrubber = _fit_on(data.select(train_mask), config)
-        eval_days.append(int(day))
-        scores.append(_score_day(scrubber, data.select(days == day)))
+    with obs.span(metric_names.SPAN_DRIFT_SLIDING_WINDOW):
+        days = _day_of_bins(data.bins, bins_per_day)
+        unique_days = np.unique(days)
+        if unique_days.size < window_days + 1:
+            raise ValueError("not enough days for the requested window")
+        start = window_days if eval_start_day is None else max(eval_start_day, window_days)
+        eval_days = []
+        scores = []
+        scrubber: Optional[IXPScrubber] = None
+        for k, day in enumerate(unique_days[start:]):
+            if scrubber is None or k % retrain_every == 0:
+                train_mask = (days >= day - window_days) & (days < day)
+                scrubber = _fit_on(data.select(train_mask), config)
+            eval_days.append(int(day))
+            scores.append(_score_day(scrubber, data.select(days == day)))
     return TemporalSeries(
         label=f"sliding-{window_days}d",
         days=np.asarray(eval_days),
@@ -151,6 +157,16 @@ def geographic_transfer(
     paper's key result.
     """
     config = config or ScrubberConfig()
+    with obs.span(metric_names.SPAN_DRIFT_TRANSFER):
+        return _geographic_transfer(train_sets, test_sets, config, keep_local_woe)
+
+
+def _geographic_transfer(
+    train_sets: Mapping[str, AggregatedDataset],
+    test_sets: Mapping[str, AggregatedDataset],
+    config: ScrubberConfig,
+    keep_local_woe: bool,
+) -> TransferMatrix:
     train_sites = tuple(train_sets)
     test_sites = tuple(test_sets)
     # Fit one scrubber per training site.

@@ -13,9 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.encoding.woe import WoEEncoder
 from repro.core.features import schema
 from repro.core.features.aggregation import AggregatedDataset
+from repro.obs import names as metric_names
 
 
 @dataclass(frozen=True)
@@ -48,13 +50,15 @@ def assemble(data: AggregatedDataset, woe: WoEEncoder) -> FeatureMatrix:
     """Build the 150-column feature matrix for aggregated records."""
     if not woe.is_fitted:
         raise RuntimeError("WoE encoder must be fitted before assembling")
-    columns = feature_columns()
-    n = len(data)
-    X = np.empty((n, len(columns)), dtype=np.float64)
-    encoded = woe.transform(data)
-    for j, name in enumerate(columns):
-        if name in data.categorical:
-            X[:, j] = encoded[name]
-        else:
-            X[:, j] = data.metrics[name]
+    with obs.span(metric_names.SPAN_ENCODING_ASSEMBLE):
+        columns = feature_columns()
+        n = len(data)
+        X = np.empty((n, len(columns)), dtype=np.float64)
+        encoded = woe.transform(data)
+        for j, name in enumerate(columns):
+            if name in data.categorical:
+                X[:, j] = encoded[name]
+            else:
+                X[:, j] = data.metrics[name]
+    obs.counter(metric_names.C_ENCODING_ROWS_ASSEMBLED).inc(n)
     return FeatureMatrix(X=X, y=data.labels.astype(np.int64), columns=columns)

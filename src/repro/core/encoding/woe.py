@@ -25,8 +25,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.features import schema
 from repro.core.features.aggregation import AggregatedDataset
+from repro.obs import names as metric_names
 
 #: WoE assigned to values never seen during fitting (neutral evidence).
 UNKNOWN_WOE = 0.0
@@ -95,7 +97,8 @@ class WoEEncoder:
         self._counts = {}
         self._n_pos = 0.0
         self._n_neg = 0.0
-        return self.update(data)
+        with obs.span(metric_names.SPAN_ENCODING_WOE_FIT):
+            return self.update(data)
 
     def update(self, data: AggregatedDataset, decay: float = 1.0) -> "WoEEncoder":
         """Incrementally fold new records into the WoE tables.

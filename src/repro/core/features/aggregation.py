@@ -16,7 +16,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.features import schema
+from repro.obs import names as metric_names
 from repro.core.rules.matcher import match_matrix
 from repro.core.rules.model import TaggingRule
 from repro.netflow.dataset import BIN_SECONDS, FlowDataset
@@ -141,6 +143,17 @@ def aggregate(
     bin_seconds: int = BIN_SECONDS,
 ) -> AggregatedDataset:
     """Aggregate labeled flows into per-(bin, target) rank features."""
+    with obs.span(metric_names.SPAN_FEATURES_AGGREGATE):
+        data = _aggregate(flows, rules, bin_seconds)
+    obs.counter(metric_names.C_FEATURES_RECORDS_AGGREGATED).inc(len(data))
+    return data
+
+
+def _aggregate(
+    flows: FlowDataset,
+    rules: Sequence[TaggingRule],
+    bin_seconds: int,
+) -> AggregatedDataset:
     n = len(flows)
     if n == 0:
         raise ValueError("cannot aggregate an empty flow dataset")

@@ -18,7 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.netflow.dataset import BIN_SECONDS, FlowDataset
+from repro.obs import names as metric_names
 
 
 @dataclass(frozen=True)
@@ -91,6 +93,19 @@ def balance(
     without blackholed traffic contribute nothing — exactly the online
     recording behaviour that discards the unbalanced bulk early.
     """
+    with obs.span(metric_names.SPAN_LABELING_BALANCE):
+        result = _balance(flows, rng, bin_seconds)
+    obs.counter(metric_names.C_LABELING_FLOWS_IN).inc(result.report.flows_before)
+    obs.counter(metric_names.C_LABELING_FLOWS_KEPT).inc(result.report.flows_after)
+    obs.gauge(metric_names.G_LABELING_LAST_REDUCTION).set(result.report.reduction)
+    return result
+
+
+def _balance(
+    flows: FlowDataset,
+    rng: np.random.Generator,
+    bin_seconds: int,
+) -> BalancedDataset:
     if len(flows) == 0:
         empty = FlowDataset.empty()
         report = BalanceReport(

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+from repro.obs import names as metric_names
 from repro.core.rules.items import (
     Item,
     ItemEncoder,
@@ -119,16 +121,22 @@ def mine_rules(
     encoder: ItemEncoder | None = None,
 ) -> MiningResult:
     """Run the full mining pipeline on a balanced, labeled flow dataset."""
-    if encoder is None:
-        encoder = ItemEncoder.fit(flows)
-    transactions = deduplicate(encoder.encode_labeled(flows))
-    total = total_weight(transactions)
-    itemsets = fp_growth(transactions, min_support=min_support)
-    rules = generate_rules(itemsets, total, min_confidence=min_confidence)
-    return MiningResult(
-        encoder=encoder,
-        all_rules=rules,
-        blackhole_rules=filter_blackhole_rules(rules),
-        n_transactions=total,
-        n_frequent_itemsets=len(itemsets),
-    )
+    with obs.span(metric_names.SPAN_RULES_MINE):
+        if encoder is None:
+            encoder = ItemEncoder.fit(flows)
+        transactions = deduplicate(encoder.encode_labeled(flows))
+        total = total_weight(transactions)
+        itemsets = fp_growth(transactions, min_support=min_support)
+        rules = generate_rules(itemsets, total, min_confidence=min_confidence)
+        result = MiningResult(
+            encoder=encoder,
+            all_rules=rules,
+            blackhole_rules=filter_blackhole_rules(rules),
+            n_transactions=total,
+            n_frequent_itemsets=len(itemsets),
+        )
+    obs.counter(metric_names.C_RULES_TRANSACTIONS).inc(total)
+    obs.counter(metric_names.C_RULES_FREQUENT_ITEMSETS).inc(len(itemsets))
+    obs.counter(metric_names.C_RULES_GENERATED).inc(len(rules))
+    obs.counter(metric_names.C_RULES_BLACKHOLE).inc(len(result.blackhole_rules))
+    return result

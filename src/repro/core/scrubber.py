@@ -14,8 +14,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.encoding.matrix import FeatureMatrix, assemble
 from repro.core.encoding.woe import WoEEncoder
+from repro.obs import names as metric_names
 from repro.core.features.aggregation import AggregatedDataset, aggregate
 from repro.core.models.pipeline import ModelPipeline, make_pipeline
 from repro.core.rules.items import ItemEncoder
@@ -69,23 +71,27 @@ class IXPScrubber:
     # ------------------------------------------------------------------
     def mine_tagging_rules(self, flows: FlowDataset) -> RuleSet:
         """Mine, minimise and stage tagging rules from balanced flows."""
-        result = mine_rules(
-            flows,
-            min_support=self.config.min_support,
-            min_confidence=self.config.min_confidence,
+        with obs.span(metric_names.SPAN_SCRUBBER_MINE_RULES):
+            result = mine_rules(
+                flows,
+                min_support=self.config.min_support,
+                min_confidence=self.config.min_confidence,
+            )
+            minimized = minimize_rules(
+                result.blackhole_rules,
+                confidence_loss=self.config.confidence_loss,
+                support_loss=self.config.support_loss,
+            )
+            self.item_encoder = result.encoder
+            fresh = RuleSet.from_mining(minimized, result.encoder)
+            if self.config.auto_accept_rules:
+                for rule in fresh:
+                    fresh.set_status(rule.rule_id, RuleStatus.ACCEPT)
+            # Merge into any existing curated set (grows over time, §5.1.2).
+            self.rule_set = self.rule_set.merge(fresh)
+        obs.counter(metric_names.C_SCRUBBER_RULES_ACCEPTED).inc(
+            len(self.rule_set.accepted())
         )
-        minimized = minimize_rules(
-            result.blackhole_rules,
-            confidence_loss=self.config.confidence_loss,
-            support_loss=self.config.support_loss,
-        )
-        self.item_encoder = result.encoder
-        fresh = RuleSet.from_mining(minimized, result.encoder)
-        if self.config.auto_accept_rules:
-            for rule in fresh:
-                fresh.set_status(rule.rule_id, RuleStatus.ACCEPT)
-        # Merge into any existing curated set (grows over time, §5.1.2).
-        self.rule_set = self.rule_set.merge(fresh)
         return self.rule_set
 
     @property
@@ -111,9 +117,10 @@ class IXPScrubber:
 
     def fit(self, balanced_flows: FlowDataset) -> "IXPScrubber":
         """Full training: mine rules, aggregate, fit WoE + classifier."""
-        self.mine_tagging_rules(balanced_flows)
-        data = self.aggregate_flows(balanced_flows)
-        return self.fit_aggregated(data)
+        with obs.span(metric_names.SPAN_SCRUBBER_FIT):
+            self.mine_tagging_rules(balanced_flows)
+            data = self.aggregate_flows(balanced_flows)
+            return self.fit_aggregated(data)
 
     # ------------------------------------------------------------------
     # Prediction
@@ -135,7 +142,10 @@ class IXPScrubber:
     def score_aggregated(self, data: AggregatedDataset) -> np.ndarray:
         """P(DDoS) per aggregated record."""
         pipeline = self._require_fitted()
-        return pipeline.predict_proba(self.feature_matrix(data).X)
+        with obs.span(metric_names.SPAN_SCRUBBER_SCORE):
+            scores = pipeline.predict_proba(self.feature_matrix(data).X)
+        obs.counter(metric_names.C_SCRUBBER_RECORDS_SCORED).inc(len(data))
+        return scores
 
     def predict_flows(self, flows: FlowDataset) -> list[TargetVerdict]:
         """Classify raw flows end-to-end into per-target verdicts."""

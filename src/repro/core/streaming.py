@@ -20,28 +20,59 @@ The engine is deterministic given its seed and the input streams.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.bgp.blackhole import BlackholeRegistry
 from repro.bgp.messages import Update
 from repro.core.labeling.balancer import balance
 from repro.core.scrubber import IXPScrubber, ScrubberConfig, TargetVerdict
 from repro.netflow.dataset import BIN_SECONDS, FlowDataset
+from repro.obs import names
 
 
-@dataclass
 class StreamingStats:
-    """Counters exposed by the engine (for dashboards/tests)."""
+    """Compatibility view over the engine's metric registry.
 
-    flows_ingested: int = 0
-    bins_closed: int = 0
-    verdicts_emitted: int = 0
-    ddos_verdicts: int = 0
-    retrainings: int = 0
-    training_flows: int = 0
+    Historically a mutable dataclass of ad-hoc counters; the counts now
+    live in a :class:`repro.obs.MetricRegistry` (see ``docs/METRICS.md``)
+    and this view preserves the old read API — ``engine.stats.bins_closed``
+    keeps working for dashboards and tests.
+    """
+
+    _COUNTERS = {
+        "flows_ingested": names.C_STREAMING_FLOWS_INGESTED,
+        "bins_closed": names.C_STREAMING_BINS_CLOSED,
+        "verdicts_emitted": names.C_STREAMING_VERDICTS_EMITTED,
+        "ddos_verdicts": names.C_STREAMING_DDOS_VERDICTS,
+        "retrainings": names.C_STREAMING_RETRAININGS,
+    }
+    _GAUGES = {
+        "training_flows": names.G_STREAMING_TRAINING_FLOWS,
+    }
+
+    def __init__(self, registry: obs.MetricRegistry):
+        self._registry = registry
+
+    def __getattr__(self, attr: str) -> int:
+        name = self._COUNTERS.get(attr) or self._GAUGES.get(attr)
+        if name is None:
+            raise AttributeError(attr)
+        metric = self._registry.get(name)
+        return int(metric.value) if metric is not None else 0
+
+    def as_dict(self) -> dict[str, int]:
+        """All legacy counter names and their current values."""
+        return {
+            attr: getattr(self, attr)
+            for attr in (*self._COUNTERS, *self._GAUGES)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"StreamingStats({body})"
 
 
 class StreamingScrubber:
@@ -55,6 +86,7 @@ class StreamingScrubber:
         min_flows_per_verdict: int = 5,
         seed: int = 0,
         label_grace_bins: int = 10,
+        registry: Optional[obs.MetricRegistry] = None,
     ):
         """
         Parameters
@@ -73,6 +105,13 @@ class StreamingScrubber:
             A bin's flows only enter the training buffer after this many
             further bins have closed, so late blackhole announcements
             (reaction delay) can still label them.
+        registry:
+            Metric registry this engine records into. Defaults to a
+            private registry per engine so independent engines never mix
+            counters; pass a shared one to aggregate across engines.
+            The registry is *activated* for the duration of every
+            ``ingest``/``flush`` call, so nested pipeline stages
+            (balancing, mining, encoding) record into it too.
         """
         if window_days < 1:
             raise ValueError("window_days must be >= 1")
@@ -83,10 +122,11 @@ class StreamingScrubber:
         self.bins_per_day = bins_per_day
         self.min_flows_per_verdict = min_flows_per_verdict
         self.label_grace_bins = label_grace_bins
-        self.stats = StreamingStats()
+        self.registry = registry if registry is not None else obs.MetricRegistry()
+        self.stats = StreamingStats(self.registry)
 
         self._rng = np.random.default_rng(seed)
-        self._registry = BlackholeRegistry()
+        self._blackholes = BlackholeRegistry()
         self._scrubber: Optional[IXPScrubber] = None
         #: Open per-bin flow buffers, keyed by bin index (time // 60).
         self._open_bins: "OrderedDict[int, list[FlowDataset]]" = OrderedDict()
@@ -119,24 +159,33 @@ class StreamingScrubber:
         across calls: a bin closes when a strictly later bin receives
         traffic. Returns the verdicts for all bins closed by this chunk.
         """
-        for update in updates:
-            self._registry.apply(update)
-        verdicts: list[TargetVerdict] = []
-        if len(flows):
-            self.stats.flows_ingested += len(flows)
-            self._horizon = max(self._horizon, int(flows.time.max()) + 1)
-            bins = flows.time // BIN_SECONDS
-            for bin_id in np.unique(bins):
-                chunk = flows.select(bins == bin_id)
-                self._open_bins.setdefault(int(bin_id), []).append(chunk)
-            verdicts.extend(self._close_bins(int(bins.max())))
+        with obs.use_registry(self.registry), obs.span(names.SPAN_STREAMING_INGEST):
+            for update in updates:
+                self._blackholes.apply(update)
+            verdicts: list[TargetVerdict] = []
+            if len(flows):
+                obs.counter(names.C_STREAMING_FLOWS_INGESTED).inc(len(flows))
+                self._horizon = max(self._horizon, int(flows.time.max()) + 1)
+                bins = flows.time // BIN_SECONDS
+                for bin_id in np.unique(bins):
+                    chunk = flows.select(bins == bin_id)
+                    self._open_bins.setdefault(int(bin_id), []).append(chunk)
+                verdicts.extend(self._close_bins(int(bins.max())))
+            self._update_level_gauges()
         return verdicts
 
     def flush(self) -> list[TargetVerdict]:
         """Close all open bins (end of stream)."""
-        verdicts = self._close_bins(None)
-        self._label_pending(force=True)
+        with obs.use_registry(self.registry), obs.span(names.SPAN_STREAMING_INGEST):
+            verdicts = self._close_bins(None)
+            self._label_pending(force=True)
+            self._update_level_gauges()
         return verdicts
+
+    def _update_level_gauges(self) -> None:
+        obs.gauge(names.G_STREAMING_OPEN_BINS).set(len(self._open_bins))
+        obs.gauge(names.G_STREAMING_PENDING_LABEL_BINS).set(len(self._pending_label))
+        obs.gauge(names.G_STREAMING_DAY_BUFFERS).set(len(self._day_buffers))
 
     # ------------------------------------------------------------------
     def _close_bins(self, current_bin: Optional[int]) -> list[TargetVerdict]:
@@ -147,35 +196,41 @@ class StreamingScrubber:
             if current_bin is None or b < current_bin
         ]
         for bin_id in sorted(closeable):
-            parts = self._open_bins.pop(bin_id)
-            bin_flows = FlowDataset.concat(parts)
-            self.stats.bins_closed += 1
-            verdicts.extend(self._classify_bin(bin_flows))
-            self._pending_label[bin_id] = bin_flows
+            with obs.span(names.SPAN_STREAMING_CLOSE_BIN):
+                parts = self._open_bins.pop(bin_id)
+                bin_flows = FlowDataset.concat(parts)
+                obs.counter(names.C_STREAMING_BINS_CLOSED).inc()
+                verdicts.extend(self._classify_bin(bin_flows))
+                self._pending_label[bin_id] = bin_flows
         self._label_pending(force=False, current_bin=current_bin)
         return verdicts
 
     def _classify_bin(self, bin_flows: FlowDataset) -> list[TargetVerdict]:
         if self._scrubber is None or len(bin_flows) == 0:
             return []
-        records = self._scrubber.aggregate_flows(bin_flows)
-        significant = records.select(records.n_flows >= self.min_flows_per_verdict)
-        if len(significant) == 0:
-            return []
-        scores = self._scrubber.score_aggregated(significant)
-        tags = significant.rule_tags or [()] * len(significant)
-        out = []
-        for i in range(len(significant)):
-            verdict = TargetVerdict(
-                bin=int(significant.bins[i]),
-                target_ip=int(significant.targets[i]),
-                is_ddos=bool(scores[i] >= 0.5),
-                score=float(scores[i]),
-                matched_rules=tags[i],
+        with obs.span(names.SPAN_STREAMING_CLASSIFY_BIN):
+            records = self._scrubber.aggregate_flows(bin_flows)
+            significant = records.select(
+                records.n_flows >= self.min_flows_per_verdict
             )
-            out.append(verdict)
-        self.stats.verdicts_emitted += len(out)
-        self.stats.ddos_verdicts += sum(1 for v in out if v.is_ddos)
+            if len(significant) == 0:
+                return []
+            scores = self._scrubber.score_aggregated(significant)
+            tags = significant.rule_tags or [()] * len(significant)
+            out = []
+            for i in range(len(significant)):
+                verdict = TargetVerdict(
+                    bin=int(significant.bins[i]),
+                    target_ip=int(significant.targets[i]),
+                    is_ddos=bool(scores[i] >= 0.5),
+                    score=float(scores[i]),
+                    matched_rules=tags[i],
+                )
+                out.append(verdict)
+            obs.counter(names.C_STREAMING_VERDICTS_EMITTED).inc(len(out))
+            obs.counter(names.C_STREAMING_DDOS_VERDICTS).inc(
+                sum(1 for v in out if v.is_ddos)
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -189,9 +244,10 @@ class StreamingScrubber:
             or (current_bin is not None and b + self.label_grace_bins <= current_bin)
         ]
         for bin_id in sorted(ready):
-            bin_flows = self._pending_label.pop(bin_id)
-            labeled = self._registry.label_flows(bin_flows, horizon=self._horizon)
-            balanced = balance(labeled, self._rng)
+            with obs.span(names.SPAN_STREAMING_LABEL_BIN):
+                bin_flows = self._pending_label.pop(bin_id)
+                labeled = self._blackholes.label_flows(bin_flows, horizon=self._horizon)
+                balanced = balance(labeled, self._rng)
             if len(balanced.flows) == 0:
                 continue
             day = bin_id // self.bins_per_day
@@ -218,12 +274,13 @@ class StreamingScrubber:
         labels = training.blackhole
         if len(training) < 50 or labels.all() or not labels.any():
             return
-        scrubber = IXPScrubber(self.config)
-        scrubber.fit(training)
+        with obs.span(names.SPAN_STREAMING_RETRAIN):
+            scrubber = IXPScrubber(self.config)
+            scrubber.fit(training)
         self._scrubber = scrubber
         self._last_trained_day = day
-        self.stats.retrainings += 1
-        self.stats.training_flows = len(training)
+        obs.counter(names.C_STREAMING_RETRAININGS).inc()
+        obs.gauge(names.G_STREAMING_TRAINING_FLOWS).set(len(training))
         # Evict buffers that can never be in a future window.
         for d in list(self._day_buffers):
             if d < day - self.window_days:

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.netflow.dataset import FlowDataset
+from repro.obs import names as metric_names
 
 
 class PacketSampler:
@@ -30,22 +32,27 @@ class PacketSampler:
 
     def sample(self, flows: FlowDataset, rng: np.random.Generator) -> FlowDataset:
         """Return the sampled view of ``flows``."""
+        obs.counter(metric_names.C_IXP_SAMPLER_FLOWS_IN).inc(len(flows))
         if self.rate == 1 or len(flows) == 0:
+            obs.counter(metric_names.C_IXP_SAMPLER_FLOWS_KEPT).inc(len(flows))
             return flows
-        packets = flows.packets
-        sampled_packets = rng.binomial(packets, 1.0 / self.rate)
-        keep = sampled_packets > 0
-        if not keep.any():
-            return FlowDataset.empty()
-        subset = flows.select(keep)
-        kept_packets = sampled_packets[keep].astype(np.int64)
-        mean_size = subset.bytes / subset.packets
-        columns = subset.to_columns()
-        columns["packets"] = kept_packets
-        columns["bytes"] = np.maximum(
-            (mean_size * kept_packets).astype(np.int64), kept_packets * 64
-        )
-        return FlowDataset(columns)
+        with obs.span(metric_names.SPAN_IXP_SAMPLE):
+            packets = flows.packets
+            sampled_packets = rng.binomial(packets, 1.0 / self.rate)
+            keep = sampled_packets > 0
+            if not keep.any():
+                return FlowDataset.empty()
+            subset = flows.select(keep)
+            kept_packets = sampled_packets[keep].astype(np.int64)
+            mean_size = subset.bytes / subset.packets
+            columns = subset.to_columns()
+            columns["packets"] = kept_packets
+            columns["bytes"] = np.maximum(
+                (mean_size * kept_packets).astype(np.int64), kept_packets * 64
+            )
+            sampled = FlowDataset(columns)
+            obs.counter(metric_names.C_IXP_SAMPLER_FLOWS_KEPT).inc(len(sampled))
+            return sampled
 
     def upscale_bytes(self, sampled: FlowDataset) -> float:
         """Estimate the original traffic volume in bytes from a sample."""

@@ -1,0 +1,197 @@
+"""Exporters: JSON-lines sink and Prometheus-style text exposition.
+
+Two pluggable output formats cover the operational spectrum:
+
+* :class:`JsonLinesExporter` appends one self-contained snapshot object
+  per line — the right shape for log shippers and offline analysis
+  (``read_jsonl`` parses the file back for tests and tooling);
+* :func:`prometheus_text` renders the classic ``# TYPE`` exposition so a
+  scrape endpoint (or a ``textfile`` collector) can serve the registry
+  to an existing monitoring stack without adding any dependency here.
+
+:func:`format_snapshot` is the human-facing third sibling used by
+``repro stats``: counters, gauges, histogram percentiles, and the
+per-phase span table in fixed-width text.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+
+__all__ = [
+    "snapshot",
+    "JsonLinesExporter",
+    "read_jsonl",
+    "prometheus_text",
+    "format_snapshot",
+]
+
+
+def snapshot(registry: MetricRegistry) -> dict:
+    """One JSON-serialisable dict of the registry's entire state."""
+    counters, gauges, histograms = [], [], []
+    for metric in registry.metrics():
+        if isinstance(metric, Counter):
+            counters.append(metric.as_dict())
+        elif isinstance(metric, Gauge):
+            gauges.append(metric.as_dict())
+        elif isinstance(metric, Histogram):
+            histograms.append(metric.as_dict())
+    spans = [agg.as_dict() for agg in registry.spans.stats().values()]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": spans,
+    }
+
+
+class JsonLinesExporter:
+    """Append registry snapshots to a ``.jsonl`` file, one per call."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def export(self, registry: MetricRegistry, **extra: object) -> dict:
+        """Write one snapshot line (plus ``extra`` top-level fields)."""
+        record = dict(extra)
+        record.update(snapshot(registry))
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Parse a JSON-lines snapshot file back into dicts."""
+    out = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    sanitized = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _escape_label(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in registry.metrics():
+        base = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            if base not in seen_types:
+                lines.append(f"# TYPE {base}_total counter")
+                seen_types.add(base)
+            labels = _prom_labels(dict(metric.labels))
+            lines.append(f"{base}_total{labels} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} gauge")
+                seen_types.add(base)
+            labels = _prom_labels(dict(metric.labels))
+            lines.append(f"{base}{labels} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} histogram")
+                seen_types.add(base)
+            base_labels = dict(metric.labels)
+            for edge, cumulative in metric.bucket_counts().items():
+                le = _prom_labels(base_labels, {"le": _fmt(edge)})
+                lines.append(f"{base}_bucket{le} {cumulative}")
+            labels = _prom_labels(base_labels)
+            lines.append(f"{base}_sum{labels} {_fmt(metric.sum)}")
+            lines.append(f"{base}_count{labels} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human-readable snapshot (the `repro stats` output)
+# ----------------------------------------------------------------------
+def _labels_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def format_snapshot(registry: MetricRegistry) -> str:
+    """Fixed-width text rendering: counters, gauges, histograms, spans."""
+    snap = snapshot(registry)
+    lines: list[str] = []
+
+    if snap["counters"]:
+        lines.append("== counters ==")
+        for c in snap["counters"]:
+            name = c["name"] + _labels_suffix(c["labels"])
+            lines.append(f"  {name:<42s} {c['value']:>14.0f}")
+    if snap["gauges"]:
+        lines.append("== gauges ==")
+        for g in snap["gauges"]:
+            name = g["name"] + _labels_suffix(g["labels"])
+            lines.append(f"  {name:<42s} {g['value']:>14.2f}")
+
+    span_names = {s["name"] for s in snap["spans"]}
+    plain_hists = [h for h in snap["histograms"] if h["name"] not in span_names]
+    if plain_hists:
+        lines.append("== histograms ==")
+        for h in plain_hists:
+            name = h["name"] + _labels_suffix(h["labels"])
+            lines.append(
+                f"  {name:<42s} n={h['count']:<8d} "
+                f"p50={h['p50']:.4g} p90={h['p90']:.4g} p99={h['p99']:.4g}"
+            )
+
+    if snap["spans"]:
+        lines.append("== spans (per phase) ==")
+        lines.append(
+            f"  {'phase':<28s} {'count':>7s} {'total_s':>10s} "
+            f"{'mean_s':>10s} {'p90_s':>10s} {'max_s':>10s}"
+        )
+        for s in snap["spans"]:
+            hist = registry.get(s["name"])
+            p90 = hist.percentile(90) if isinstance(hist, Histogram) and hist.count else float("nan")
+            lines.append(
+                f"  {s['name']:<28s} {s['count']:>7d} {s['total_seconds']:>10.3f} "
+                f"{s['mean_seconds']:>10.4f} {p90:>10.4f} {s['max_seconds']:>10.4f}"
+            )
+    return "\n".join(lines)

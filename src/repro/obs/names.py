@@ -1,0 +1,78 @@
+"""Catalogue of every metric and span name emitted by the pipeline.
+
+All instrumented code imports its names from here instead of spelling
+string literals inline. That buys two things:
+
+* one place to read the full observability surface (mirrored, with
+  units and emission sites, in ``docs/METRICS.md``), and
+* a lintable contract — ``tests/test_docs_lint.py`` fails if a name in
+  this catalogue (or a literal that bypasses it) is missing from the
+  documentation.
+
+Naming convention: ``<component>.<noun>`` with dots as separators
+(sanitised to underscores in the Prometheus exposition). Counters count
+events, gauges are levels, spans are histograms of seconds under the
+span's own name.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ALL_COUNTERS", "ALL_GAUGES", "ALL_SPANS", "ALL_NAMES"]
+
+# -- counters ----------------------------------------------------------
+C_STREAMING_FLOWS_INGESTED = "streaming.flows_ingested"
+C_STREAMING_BINS_CLOSED = "streaming.bins_closed"
+C_STREAMING_VERDICTS_EMITTED = "streaming.verdicts_emitted"
+C_STREAMING_DDOS_VERDICTS = "streaming.ddos_verdicts"
+C_STREAMING_RETRAININGS = "streaming.retrainings"
+C_LABELING_FLOWS_IN = "labeling.flows_in"
+C_LABELING_FLOWS_KEPT = "labeling.flows_kept"
+C_RULES_TRANSACTIONS = "rules.transactions"
+C_RULES_FREQUENT_ITEMSETS = "rules.frequent_itemsets"
+C_RULES_GENERATED = "rules.rules_generated"
+C_RULES_BLACKHOLE = "rules.blackhole_rules"
+C_SCRUBBER_RULES_ACCEPTED = "scrubber.rules_accepted"
+C_SCRUBBER_RECORDS_SCORED = "scrubber.records_scored"
+C_FEATURES_RECORDS_AGGREGATED = "features.records_aggregated"
+C_ENCODING_ROWS_ASSEMBLED = "encoding.rows_assembled"
+C_IXP_SAMPLER_FLOWS_IN = "ixp.sampler_flows_in"
+C_IXP_SAMPLER_FLOWS_KEPT = "ixp.sampler_flows_kept"
+C_DRIFT_MODELS_TRAINED = "drift.models_trained"
+C_DRIFT_DAYS_SCORED = "drift.days_scored"
+
+# -- gauges ------------------------------------------------------------
+G_STREAMING_TRAINING_FLOWS = "streaming.training_flows"
+G_STREAMING_OPEN_BINS = "streaming.open_bins"
+G_STREAMING_PENDING_LABEL_BINS = "streaming.pending_label_bins"
+G_STREAMING_DAY_BUFFERS = "streaming.day_buffers"
+G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
+
+# -- spans (histograms of seconds) -------------------------------------
+SPAN_STREAMING_INGEST = "streaming.ingest"
+SPAN_STREAMING_CLOSE_BIN = "streaming.close_bin"
+SPAN_STREAMING_CLASSIFY_BIN = "streaming.classify_bin"
+SPAN_STREAMING_LABEL_BIN = "streaming.label_bin"
+SPAN_STREAMING_RETRAIN = "streaming.retrain"
+SPAN_SCRUBBER_FIT = "scrubber.fit"
+SPAN_SCRUBBER_MINE_RULES = "scrubber.mine_rules"
+SPAN_SCRUBBER_SCORE = "scrubber.score"
+SPAN_LABELING_BALANCE = "labeling.balance"
+SPAN_RULES_MINE = "rules.mine"
+SPAN_FEATURES_AGGREGATE = "features.aggregate"
+SPAN_ENCODING_WOE_FIT = "encoding.woe_fit"
+SPAN_ENCODING_ASSEMBLE = "encoding.assemble"
+SPAN_IXP_SAMPLE = "ixp.sample"
+SPAN_DRIFT_ONE_SHOT = "drift.one_shot"
+SPAN_DRIFT_SLIDING_WINDOW = "drift.sliding_window"
+SPAN_DRIFT_TRANSFER = "drift.transfer"
+
+ALL_COUNTERS: tuple[str, ...] = tuple(
+    v for k, v in sorted(globals().items()) if k.startswith("C_")
+)
+ALL_GAUGES: tuple[str, ...] = tuple(
+    v for k, v in sorted(globals().items()) if k.startswith("G_")
+)
+ALL_SPANS: tuple[str, ...] = tuple(
+    v for k, v in sorted(globals().items()) if k.startswith("SPAN_")
+)
+ALL_NAMES: tuple[str, ...] = ALL_COUNTERS + ALL_GAUGES + ALL_SPANS

@@ -1,0 +1,105 @@
+"""Docs lint: keep the markdown documentation in sync with the code.
+
+Two contracts are enforced:
+
+1. Every *relative* markdown link in README.md, DESIGN.md, and
+   ``docs/*.md`` points at a file that exists (external ``http(s)://``
+   and ``mailto:`` links are out of scope — no network in tests).
+2. Every metric/span name the code can emit is documented in
+   ``docs/METRICS.md``: the full catalogue in ``repro.obs.names`` plus
+   any string literal passed directly to a ``counter(``/``gauge(``/
+   ``histogram(``/``span(`` call inside ``src/repro`` (which also means
+   new instrumentation bypassing the catalogue gets flagged here and is
+   pushed toward ``names.py``).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+SRC_DIR = REPO_ROOT / "src" / "repro"
+METRICS_DOC = DOCS_DIR / "METRICS.md"
+
+LINT_TARGETS = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+    + list(DOCS_DIR.glob("*.md"))
+)
+
+#: ``[text](target)`` — target captured up to the closing paren.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: A string literal handed straight to an instrument factory or span().
+_INSTRUMENT_LITERAL = re.compile(
+    r"""\b(?:counter|gauge|histogram|span)\(\s*['"]([^'"]+)['"]"""
+)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _relative_links(path):
+    for match in _MD_LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        yield target
+
+
+def test_lint_targets_exist():
+    assert METRICS_DOC.is_file()
+    assert len(LINT_TARGETS) >= 4  # README, DESIGN, ARCHITECTURE, METRICS
+
+
+@pytest.mark.parametrize(
+    "doc", LINT_TARGETS, ids=[p.name for p in LINT_TARGETS]
+)
+def test_relative_markdown_links_resolve(doc):
+    broken = []
+    for target in _relative_links(doc):
+        resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name} has broken relative links: {broken}"
+
+
+def _emitted_names():
+    """Every metric/span name the code can emit."""
+    emitted = set(names.ALL_NAMES)
+    for source in sorted(SRC_DIR.rglob("*.py")):
+        if SRC_DIR / "obs" in source.parents:
+            continue  # the obs layer itself only handles caller names
+        emitted.update(_INSTRUMENT_LITERAL.findall(source.read_text()))
+    return emitted
+
+
+def test_name_catalogue_is_nontrivial():
+    # Guard: if the catalogue import path breaks, the docs test below
+    # would vacuously pass on an empty set.
+    assert len(names.ALL_COUNTERS) >= 15
+    assert len(names.ALL_GAUGES) >= 4
+    assert len(names.ALL_SPANS) >= 15
+
+
+def test_every_emitted_metric_is_documented():
+    doc_text = METRICS_DOC.read_text(encoding="utf-8")
+    undocumented = sorted(
+        name for name in _emitted_names() if f"`{name}`" not in doc_text
+    )
+    assert not undocumented, (
+        "metric/span names emitted in src/repro but missing from "
+        f"docs/METRICS.md: {undocumented} — add a row per name "
+        "(and a constant in src/repro/obs/names.py if it bypassed the "
+        "catalogue)"
+    )
+
+
+def test_documented_metrics_point_back_at_real_code():
+    """Every `file.py:symbol` pointer in the metrics tables exists."""
+    doc_text = METRICS_DOC.read_text(encoding="utf-8")
+    pointers = re.findall(r"`(src/repro/[\w/]+\.py):", doc_text)
+    missing = sorted(
+        {p for p in pointers if not (REPO_ROOT / p).is_file()}
+    )
+    assert not missing, f"docs/METRICS.md points at missing files: {missing}"
