@@ -6,7 +6,11 @@
 * ``repro stats`` drives a short synthetic workload through the
   streaming engine and prints the live metrics snapshot (counters,
   histogram percentiles, per-phase span timings) — the operator view
-  documented in ``docs/METRICS.md``.
+  documented in ``docs/METRICS.md``;
+* ``repro stream --shards N`` does the same through the sharded
+  parallel engine (``repro.core.parallel``), printing the merged
+  coordinator + per-shard snapshot; ``--check`` runs the serial
+  equivalence shadow alongside.
 """
 
 from __future__ import annotations
@@ -52,11 +56,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    """Run a short synthetic streaming workload; print live metrics."""
-    from repro import obs
-    from repro.core.scrubber import ScrubberConfig
-    from repro.core.streaming import StreamingScrubber
+def _stream_workload(days: int, seed: int):
+    """Generate the synthetic capture the stats/stream commands drive."""
     from repro.ixp.fabric import IXPFabric
     from repro.ixp.profiles import IXPProfile
     from repro.traffic.workload import WorkloadGenerator
@@ -65,25 +66,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         name="IXP-STATS", region=11, n_members=8, traffic_scale=0.01,
         attacks_per_day=14.0, attack_intensity=25.0,
         benign_flows_per_target=5.0, benign_targets_per_minute=24,
-        bins_per_day=48, seed=args.seed,
+        bins_per_day=48, seed=seed,
     )
     print(
-        f"generating {args.days} synthetic day(s) at {profile.name} "
-        f"(seed {args.seed})...",
+        f"generating {days} synthetic day(s) at {profile.name} "
+        f"(seed {seed})...",
         file=sys.stderr,
     )
-    capture = WorkloadGenerator(IXPFabric(profile)).generate(0, args.days)
-    engine = StreamingScrubber(
-        config=ScrubberConfig(model="XGB", model_params={"n_estimators": 10}),
-        window_days=2,
-        bins_per_day=profile.bins_per_day,
-        seed=1,
-    )
+    return profile, WorkloadGenerator(IXPFabric(profile)).generate(0, days)
 
+
+def _drive_engine(engine, capture, chunk_bins: int = 8) -> tuple[int, float]:
+    """Stream a capture through an engine; return (verdicts, seconds)."""
     flows = capture.flows
     updates = sorted(capture.updates, key=lambda u: u.time)
     bins = flows.time // 60
-    chunk_bins = 8
     u = 0
     n_verdicts = 0
     start = time.perf_counter()
@@ -96,23 +93,78 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             u += 1
         n_verdicts += len(engine.ingest(flows.select(mask), chunk_updates))
     n_verdicts += len(engine.flush())
-    elapsed = time.perf_counter() - start
+    return n_verdicts, time.perf_counter() - start
 
-    if args.format == "json":
-        print(json.dumps(obs.snapshot(engine.registry), sort_keys=True, indent=2))
-    elif args.format == "prometheus":
-        print(obs.prometheus_text(engine.registry), end="")
+
+def _print_snapshot(snap, fmt: str, footer: str) -> None:
+    from repro import obs
+
+    if fmt == "json":
+        print(json.dumps(snap, sort_keys=True, indent=2))
+    elif fmt == "prometheus":
+        print(obs.prometheus_text(snap), end="")
     else:
-        print(obs.format_snapshot(engine.registry))
-        print(
-            f"\n[streamed {len(flows):,} flows -> {n_verdicts} verdicts "
-            f"in {elapsed:.1f}s; model ready: {engine.is_ready}]"
-        )
+        print(obs.format_snapshot(snap))
+        print(footer)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a short synthetic streaming workload; print live metrics."""
+    from repro import obs
+    from repro.core.scrubber import ScrubberConfig
+    from repro.core.streaming import StreamingScrubber
+
+    profile, capture = _stream_workload(args.days, args.seed)
+    engine = StreamingScrubber(
+        config=ScrubberConfig(model="XGB", model_params={"n_estimators": 10}),
+        window_days=2,
+        bins_per_day=profile.bins_per_day,
+        seed=1,
+    )
+    n_verdicts, elapsed = _drive_engine(engine, capture)
+    _print_snapshot(
+        obs.snapshot(engine.registry),
+        args.format,
+        f"\n[streamed {len(capture.flows):,} flows -> {n_verdicts} verdicts "
+        f"in {elapsed:.1f}s; model ready: {engine.is_ready}]",
+    )
     if args.jsonl:
         obs.JsonLinesExporter(args.jsonl).export(
             engine.registry, workload=profile.name, days=args.days
         )
         print(f"[snapshot appended to {args.jsonl}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Drive the sharded parallel engine; print the merged snapshot."""
+    from repro.core.parallel import ShardedStreamingScrubber
+    from repro.core.scrubber import ScrubberConfig
+
+    profile, capture = _stream_workload(args.days, args.seed)
+    engine = ShardedStreamingScrubber(
+        config=ScrubberConfig(model="XGB", model_params={"n_estimators": 10}),
+        n_shards=args.shards,
+        backend=args.backend,
+        equivalence_check=True if args.check else None,
+        window_days=2,
+        bins_per_day=profile.bins_per_day,
+        seed=1,
+    )
+    try:
+        n_verdicts, elapsed = _drive_engine(engine, capture)
+        snap = engine.merged_snapshot()
+    finally:
+        engine.close()
+    rate = len(capture.flows) / elapsed if elapsed > 0 else float("inf")
+    _print_snapshot(
+        snap,
+        args.format,
+        f"\n[streamed {len(capture.flows):,} flows -> {n_verdicts} verdicts "
+        f"in {elapsed:.1f}s ({rate:,.0f} flows/s) across {args.shards} "
+        f"{args.backend} shard(s); model ready: {engine.is_ready}"
+        f"{'; equivalence checked' if args.check else ''}]",
+    )
     return 0
 
 
@@ -159,6 +211,43 @@ def main(argv: list[str] | None = None) -> int:
         help="also append the snapshot to this JSON-lines file",
     )
     stats_parser.set_defaults(func=_cmd_stats)
+    stream_parser = sub.add_parser(
+        "stream",
+        help="run the synthetic workload through the sharded parallel engine",
+    )
+    stream_parser.add_argument(
+        "--days",
+        type=_positive_int,
+        default=2,
+        help="simulated days to stream (default 2)",
+    )
+    stream_parser.add_argument(
+        "--seed", type=int, default=55, help="workload generator seed"
+    )
+    stream_parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="number of worker shards (default 4)",
+    )
+    stream_parser.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="shard execution backend",
+    )
+    stream_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert verdict equivalence against a shadow serial engine",
+    )
+    stream_parser.add_argument(
+        "--format",
+        choices=("text", "json", "prometheus"),
+        default="text",
+        help="snapshot output format",
+    )
+    stream_parser.set_defaults(func=_cmd_stream)
     args = parser.parse_args(argv)
     return args.func(args)
 

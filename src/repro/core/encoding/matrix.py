@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.core.encoding.woe import WoEEncoder
+from repro.core.encoding.woe import FrozenWoE, WoEEncoder
 from repro.core.features import schema
 from repro.core.features.aggregation import AggregatedDataset
 from repro.obs import names as metric_names
@@ -62,3 +62,41 @@ def assemble(data: AggregatedDataset, woe: WoEEncoder) -> FeatureMatrix:
                 X[:, j] = data.metrics[name]
     obs.counter(metric_names.C_ENCODING_ROWS_ASSEMBLED).inc(n)
     return FeatureMatrix(X=X, y=data.labels.astype(np.int64), columns=columns)
+
+
+class MatrixAssembler:
+    """Reusable, allocation-light matrix assembler for streaming shards.
+
+    Holds a :class:`~repro.core.encoding.woe.FrozenWoE` snapshot and a
+    grow-only row buffer so that per-bin assembly costs one WoE lookup
+    pass and zero table rebuilds. Output is bit-identical to
+    :func:`assemble` with the live encoder the snapshot was frozen from.
+
+    The returned :class:`FeatureMatrix` *views* the internal buffer and
+    is only valid until the next :meth:`assemble` call — score it
+    immediately (model pipelines copy during their transforms).
+    """
+
+    def __init__(self, woe: WoEEncoder | FrozenWoE):
+        self._frozen = woe.freeze() if isinstance(woe, WoEEncoder) else woe
+        self._columns = feature_columns()
+        self._buffer: np.ndarray | None = None
+
+    @property
+    def frozen(self) -> FrozenWoE:
+        return self._frozen
+
+    def assemble(self, data: AggregatedDataset) -> FeatureMatrix:
+        """Build the feature matrix into the reusable buffer."""
+        with obs.span(metric_names.SPAN_ENCODING_ASSEMBLE):
+            n = len(data)
+            if self._buffer is None or self._buffer.shape[0] < n:
+                self._buffer = np.empty((n, len(self._columns)), dtype=np.float64)
+            X = self._buffer[:n]
+            for j, name in enumerate(self._columns):
+                if name in data.categorical:
+                    X[:, j] = self._frozen.encode_column(name, data.categorical[name])
+                else:
+                    X[:, j] = data.metrics[name]
+        obs.counter(metric_names.C_ENCODING_ROWS_ASSEMBLED).inc(n)
+        return FeatureMatrix(X=X, y=data.labels.astype(np.int64), columns=self._columns)

@@ -149,6 +149,26 @@ def aggregate(
     return data
 
 
+def aggregate_batch(
+    flows: FlowDataset,
+    rules: Sequence[TaggingRule] = (),
+    bin_seconds: int = BIN_SECONDS,
+) -> AggregatedDataset:
+    """Vectorised batch equivalent of :func:`aggregate`.
+
+    Produces bit-identical output to :func:`aggregate` (asserted by
+    ``tests/test_property_invariants.py``) but replaces the per-group
+    Python loop with a handful of global sorts and segment reductions,
+    which is what makes the sharded streaming path
+    (:mod:`repro.core.parallel`) fast. Kept separate so the serial
+    engine's behaviour — and its benchmark baseline — stays unchanged.
+    """
+    with obs.span(metric_names.SPAN_FEATURES_AGGREGATE):
+        data = _aggregate_batch(flows, rules, bin_seconds)
+    obs.counter(metric_names.C_FEATURES_RECORDS_AGGREGATED).inc(len(data))
+    return data
+
+
 def _aggregate(
     flows: FlowDataset,
     rules: Sequence[TaggingRule],
@@ -228,6 +248,138 @@ def _aggregate(
                 for rank, idx in enumerate(top):
                     categorical[schema.key_column(cat, metric, rank)][g] = unique[idx]
                     metrics[schema.value_column(cat, metric, rank)][g] = values[idx]
+
+    return AggregatedDataset(
+        bins=out_bins,
+        targets=out_targets,
+        labels=out_labels,
+        categorical=categorical,
+        metrics=metrics,
+        n_flows=out_nflows,
+        rule_tags=out_tags,
+    )
+
+
+def _aggregate_batch(
+    flows: FlowDataset,
+    rules: Sequence[TaggingRule],
+    bin_seconds: int,
+) -> AggregatedDataset:
+    """Global-sort implementation of the (bin, target) aggregation.
+
+    Bit-equality with ``_aggregate`` rests on two invariants:
+
+    * per-(group, key) byte/packet sums go through ``np.bincount``, whose
+      strictly sequential accumulation matches the loop path's
+      ``bincount(inverse, weights)`` as long as equal-key flows keep
+      their relative order (all sorts below are stable);
+    * ranking reproduces ``argsort(values, kind="stable")[::-1][:r]``,
+      i.e. metric descending with ties broken by *descending* key value
+      (keys are unique per group, so that order is total).
+    """
+    n = len(flows)
+    if n == 0:
+        raise ValueError("cannot aggregate an empty flow dataset")
+
+    bins = flows.time_bin(bin_seconds)
+    dst = flows.dst_ip
+
+    order = np.lexsort((dst, bins))
+    bins_s = bins[order]
+    dst_s = dst[order]
+    boundaries = np.flatnonzero((np.diff(bins_s) != 0) | (np.diff(dst_s) != 0)) + 1
+    starts = np.concatenate([[0], boundaries])
+    n_groups = starts.shape[0]
+    group_sizes = np.diff(np.concatenate([starts, [n]]))
+    group_ids = np.repeat(np.arange(n_groups), group_sizes)
+
+    f_bytes = flows.bytes[order].astype(np.float64)
+    f_packets = flows.packets[order].astype(np.float64)
+    labels_s = flows.blackhole[order]
+
+    out_bins = bins_s[starts].astype(np.int64)
+    out_targets = dst_s[starts].astype(np.uint32)
+    out_labels = np.logical_or.reduceat(labels_s, starts)
+    out_nflows = group_sizes.astype(np.int64)
+
+    out_tags: Optional[list[tuple[str, ...]]] = None
+    if rules:
+        rule_matrix = match_matrix(rules, flows)[order]
+        rule_ids = [r.rule_id for r in rules]
+        hits = np.logical_or.reduceat(rule_matrix, starts, axis=0)
+        out_tags = [()] * n_groups
+        for g in np.flatnonzero(hits.any(axis=1)):
+            out_tags[g] = tuple(rule_ids[k] for k in np.flatnonzero(hits[g]))
+
+    r = schema.RANKS
+    categorical = {
+        name: np.full(n_groups, schema.MISSING_KEY, dtype=np.int64)
+        for name in schema.key_columns()
+    }
+    metrics = {
+        name: np.full(n_groups, np.nan, dtype=np.float64)
+        for name in schema.value_columns()
+    }
+
+    cat_values = {
+        "src_ip": flows.src_ip[order].astype(np.int64),
+        "src_port": flows.src_port[order].astype(np.int64),
+        "dst_port": flows.dst_port[order].astype(np.int64),
+        "src_mac": flows.src_mac[order].astype(np.int64),
+        "protocol": flows.protocol[order].astype(np.int64),
+    }
+
+    for cat in schema.CATEGORICALS:
+        keys = cat_values[cat]
+        # Segment the batch by (group, key); stable sort keeps equal
+        # (group, key) flows in their original relative order.
+        order2 = np.lexsort((keys, group_ids))
+        g2 = group_ids[order2]
+        k2 = keys[order2]
+        seg_new = np.empty(n, dtype=bool)
+        seg_new[0] = True
+        seg_new[1:] = (np.diff(g2) != 0) | (np.diff(k2) != 0)
+        seg_id = np.cumsum(seg_new) - 1
+        n_seg = int(seg_id[-1]) + 1
+
+        seg_bytes = np.bincount(seg_id, weights=f_bytes[order2], minlength=n_seg)
+        seg_packets = np.bincount(seg_id, weights=f_packets[order2], minlength=n_seg)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            seg_size = np.where(seg_packets > 0, seg_bytes / seg_packets, 0.0)
+
+        seg_starts = np.flatnonzero(seg_new)
+        seg_group = g2[seg_starts]
+        seg_key = k2[seg_starts]
+
+        # Flip each group's segments to key-descending so a later stable
+        # sort on the metric alone breaks ties exactly like the loop
+        # path's reversed stable argsort.
+        seg_counts = np.bincount(seg_group, minlength=n_groups)
+        seg_gstart = np.concatenate([[0], np.cumsum(seg_counts)[:-1]])
+        idx = np.arange(n_seg)
+        rev = seg_gstart[seg_group] + seg_counts[seg_group] - 1 - (idx - seg_gstart[seg_group])
+        key_d = seg_key[rev]
+        values_d = {
+            "bytes": seg_bytes[rev],
+            "packets": seg_packets[rev],
+            "packet_size": seg_size[rev],
+        }
+
+        for metric in schema.METRICS:
+            vals = values_d[metric]
+            ranked = np.lexsort((-vals, seg_group))
+            rank_within = idx - seg_gstart[seg_group[ranked]]
+            take = rank_within < r
+            g_sel = seg_group[ranked][take]
+            r_sel = rank_within[take]
+            key_sel = key_d[ranked][take]
+            val_sel = vals[ranked][take]
+            for rank in range(r):
+                at = r_sel == rank
+                if not at.any():
+                    continue
+                categorical[schema.key_column(cat, metric, rank)][g_sel[at]] = key_sel[at]
+                metrics[schema.value_column(cat, metric, rank)][g_sel[at]] = val_sel[at]
 
     return AggregatedDataset(
         bins=out_bins,

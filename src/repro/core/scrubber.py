@@ -15,10 +15,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import obs
-from repro.core.encoding.matrix import FeatureMatrix, assemble
+from repro.core.encoding.matrix import FeatureMatrix, MatrixAssembler, assemble
 from repro.core.encoding.woe import WoEEncoder
 from repro.obs import names as metric_names
-from repro.core.features.aggregation import AggregatedDataset, aggregate
+from repro.core.features.aggregation import AggregatedDataset, aggregate, aggregate_batch
 from repro.core.models.pipeline import ModelPipeline, make_pipeline
 from repro.core.rules.items import ItemEncoder
 from repro.core.rules.minimize import minimize_rules
@@ -54,6 +54,29 @@ class TargetVerdict:
     is_ddos: bool
     score: float
     matched_rules: tuple[str, ...]
+
+
+def build_verdicts(
+    data: AggregatedDataset, scores: np.ndarray, threshold: float = 0.5
+) -> list[TargetVerdict]:
+    """Turn scored aggregated records into per-target verdicts.
+
+    Shared by the one-shot, streaming and sharded classification paths
+    so the verdict structure (ordering, rounding, rule tags) cannot
+    drift between them.
+    """
+    labels = scores >= threshold
+    tags = data.rule_tags or [()] * len(data)
+    return [
+        TargetVerdict(
+            bin=int(data.bins[i]),
+            target_ip=int(data.targets[i]),
+            is_ddos=bool(labels[i]),
+            score=float(scores[i]),
+            matched_rules=tags[i],
+        )
+        for i in range(len(data))
+    ]
 
 
 class IXPScrubber:
@@ -151,18 +174,51 @@ class IXPScrubber:
         """Classify raw flows end-to-end into per-target verdicts."""
         data = self.aggregate_flows(flows)
         scores = self.score_aggregated(data)
-        labels = scores >= 0.5
-        tags = data.rule_tags or [()] * len(data)
-        return [
-            TargetVerdict(
-                bin=int(data.bins[i]),
-                target_ip=int(data.targets[i]),
-                is_ddos=bool(labels[i]),
-                score=float(scores[i]),
-                matched_rules=tags[i],
-            )
-            for i in range(len(data))
-        ]
+        return build_verdicts(data, scores)
+
+    def make_assembler(self) -> MatrixAssembler:
+        """Freeze the fitted WoE tables into a reusable assembler.
+
+        The assembler is valid for the current retrain epoch; build a
+        fresh one after :meth:`fit` / :meth:`fit_aggregated` re-fit the
+        encoder (``assembler.frozen.is_stale()`` flags this).
+        """
+        self._require_fitted()
+        return MatrixAssembler(self.woe)
+
+    def classify_flows_batch(
+        self,
+        flows: FlowDataset,
+        min_flows: int = 1,
+        threshold: float = 0.5,
+        assembler: MatrixAssembler | None = None,
+    ) -> list[TargetVerdict]:
+        """Classify a multi-bin batch of flows into per-target verdicts.
+
+        The batch path of the sharded streaming engine: aggregation uses
+        the vectorised :func:`aggregate_batch`, and when ``assembler``
+        is given the WoE encode reuses its frozen tables and row buffer
+        instead of rebuilding per call. Verdicts are bit-identical to
+        aggregating and scoring each bin separately (records of distinct
+        bins never merge), ordered by (bin, target).
+        """
+        if len(flows) == 0:
+            return []
+        data = aggregate_batch(
+            flows, rules=self.accepted_rules, bin_seconds=self.config.bin_seconds
+        )
+        if min_flows > 1:
+            data = data.select(data.n_flows >= min_flows)
+        if len(data) == 0:
+            return []
+        if assembler is None:
+            scores = self.score_aggregated(data)
+        else:
+            pipeline = self._require_fitted()
+            with obs.span(metric_names.SPAN_SCRUBBER_SCORE):
+                scores = pipeline.predict_proba(assembler.assemble(data).X)
+            obs.counter(metric_names.C_SCRUBBER_RECORDS_SCORED).inc(len(data))
+        return build_verdicts(data, scores, threshold)
 
     def generate_acls(self, verdicts: Sequence[TargetVerdict]) -> list[TaggingRule]:
         """ACLs to install for positive verdicts (matched accepted rules).

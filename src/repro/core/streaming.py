@@ -19,6 +19,7 @@ The engine is deterministic given its seed and the input streams.
 
 from __future__ import annotations
 
+import abc
 from collections import OrderedDict
 from typing import Iterable, Optional
 
@@ -28,7 +29,12 @@ from repro import obs
 from repro.bgp.blackhole import BlackholeRegistry
 from repro.bgp.messages import Update
 from repro.core.labeling.balancer import balance
-from repro.core.scrubber import IXPScrubber, ScrubberConfig, TargetVerdict
+from repro.core.scrubber import (
+    IXPScrubber,
+    ScrubberConfig,
+    TargetVerdict,
+    build_verdicts,
+)
 from repro.netflow.dataset import BIN_SECONDS, FlowDataset
 from repro.obs import names
 
@@ -75,7 +81,45 @@ class StreamingStats:
         return f"StreamingStats({body})"
 
 
-class StreamingScrubber:
+class ShardableEngine(abc.ABC):
+    """The contract a streaming detection engine exposes to callers.
+
+    Both the single-threaded :class:`StreamingScrubber` and the sharded
+    coordinator in :mod:`repro.core.parallel` implement it, so drivers
+    (CLI, benchmarks, tests) can swap execution strategies without
+    caring which one they hold. Implementations also expose ``stats``
+    (a :class:`StreamingStats` view) and ``registry``.
+    """
+
+    registry: obs.MetricRegistry
+    stats: StreamingStats
+
+    @abc.abstractmethod
+    def ingest(
+        self, flows: FlowDataset, updates: Iterable[Update] = ()
+    ) -> list[TargetVerdict]:
+        """Feed a chunk of flows + BGP updates; return closed-bin verdicts."""
+
+    @abc.abstractmethod
+    def flush(self) -> list[TargetVerdict]:
+        """Close all open bins (end of stream); return their verdicts."""
+
+    @property
+    @abc.abstractmethod
+    def is_ready(self) -> bool:
+        """True once a model is available for classification."""
+
+    @property
+    @abc.abstractmethod
+    def model(self) -> Optional[IXPScrubber]:
+        """The currently deployed scrubber, if any."""
+
+    @abc.abstractmethod
+    def warm_start(self, scrubber: IXPScrubber) -> "ShardableEngine":
+        """Deploy a pre-fitted scrubber as the current model."""
+
+
+class StreamingScrubber(ShardableEngine):
     """Continuously learning, per-bin detecting scrubber."""
 
     def __init__(
@@ -136,6 +180,12 @@ class StreamingScrubber:
         self._day_buffers: "OrderedDict[int, list[FlowDataset]]" = OrderedDict()
         self._last_trained_day: Optional[int] = None
         self._horizon = 0
+        # Metric dedupe state: a bin can close more than once when late
+        # flows re-open it at a bin boundary; the counters below must
+        # count each bin / (bin, target) verdict once. One int / small
+        # tuple per unit over the engine lifetime — negligible here.
+        self._counted_bins: set[int] = set()
+        self._counted_verdicts: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +196,17 @@ class StreamingScrubber:
     @property
     def model(self) -> Optional[IXPScrubber]:
         return self._scrubber
+
+    def warm_start(self, scrubber: IXPScrubber) -> "StreamingScrubber":
+        """Deploy a pre-fitted scrubber as the current model.
+
+        The operator's deploy-with-model path (and the harness's way to
+        skip the bootstrap day): classification starts immediately while
+        the daily retrain loop continues unchanged.
+        """
+        scrubber._require_fitted()
+        self._scrubber = scrubber
+        return self
 
     # ------------------------------------------------------------------
     def ingest(
@@ -189,7 +250,16 @@ class StreamingScrubber:
 
     # ------------------------------------------------------------------
     def _close_bins(self, current_bin: Optional[int]) -> list[TargetVerdict]:
-        verdicts: list[TargetVerdict] = []
+        closed = self._pop_closeable(current_bin)
+        verdicts = self._classify_closed(closed)
+        self._label_pending(force=False, current_bin=current_bin)
+        return verdicts
+
+    def _pop_closeable(
+        self, current_bin: Optional[int]
+    ) -> list[tuple[int, FlowDataset]]:
+        """Pop every bin older than ``current_bin`` and enqueue for labeling."""
+        closed: list[tuple[int, FlowDataset]] = []
         closeable = [
             b
             for b in self._open_bins
@@ -199,10 +269,20 @@ class StreamingScrubber:
             with obs.span(names.SPAN_STREAMING_CLOSE_BIN):
                 parts = self._open_bins.pop(bin_id)
                 bin_flows = FlowDataset.concat(parts)
-                obs.counter(names.C_STREAMING_BINS_CLOSED).inc()
-                verdicts.extend(self._classify_bin(bin_flows))
+                if bin_id not in self._counted_bins:
+                    self._counted_bins.add(bin_id)
+                    obs.counter(names.C_STREAMING_BINS_CLOSED).inc()
                 self._pending_label[bin_id] = bin_flows
-        self._label_pending(force=False, current_bin=current_bin)
+                closed.append((bin_id, bin_flows))
+        return closed
+
+    def _classify_closed(
+        self, closed: list[tuple[int, FlowDataset]]
+    ) -> list[TargetVerdict]:
+        """Classify the freshly closed bins (overridden by the sharded engine)."""
+        verdicts: list[TargetVerdict] = []
+        for _, bin_flows in closed:
+            verdicts.extend(self._classify_bin(bin_flows))
         return verdicts
 
     def _classify_bin(self, bin_flows: FlowDataset) -> list[TargetVerdict]:
@@ -216,22 +296,27 @@ class StreamingScrubber:
             if len(significant) == 0:
                 return []
             scores = self._scrubber.score_aggregated(significant)
-            tags = significant.rule_tags or [()] * len(significant)
-            out = []
-            for i in range(len(significant)):
-                verdict = TargetVerdict(
-                    bin=int(significant.bins[i]),
-                    target_ip=int(significant.targets[i]),
-                    is_ddos=bool(scores[i] >= 0.5),
-                    score=float(scores[i]),
-                    matched_rules=tags[i],
-                )
-                out.append(verdict)
-            obs.counter(names.C_STREAMING_VERDICTS_EMITTED).inc(len(out))
-            obs.counter(names.C_STREAMING_DDOS_VERDICTS).inc(
-                sum(1 for v in out if v.is_ddos)
-            )
+            out = build_verdicts(significant, scores)
+            self._count_verdicts(out)
         return out
+
+    def _count_verdicts(self, verdicts: list[TargetVerdict]) -> None:
+        """Bump verdict counters, once per (bin, target) ever seen.
+
+        A re-opened bin is re-classified on its late flows and the
+        revised verdicts are still *returned*, but the counters must not
+        count the same (bin, target) record twice.
+        """
+        if not verdicts:
+            return
+        fresh = [
+            v for v in verdicts if (v.bin, v.target_ip) not in self._counted_verdicts
+        ]
+        self._counted_verdicts.update((v.bin, v.target_ip) for v in fresh)
+        obs.counter(names.C_STREAMING_VERDICTS_EMITTED).inc(len(fresh))
+        obs.counter(names.C_STREAMING_DDOS_VERDICTS).inc(
+            sum(1 for v in fresh if v.is_ddos)
+        )
 
     # ------------------------------------------------------------------
     def _label_pending(

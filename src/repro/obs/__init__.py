@@ -38,6 +38,7 @@ from repro.obs import names
 from repro.obs.export import (
     JsonLinesExporter,
     format_snapshot,
+    merge_snapshots,
     prometheus_text,
     read_jsonl,
     snapshot,
@@ -78,6 +79,7 @@ __all__ = [
     "get_registry",
     "histogram",
     "is_enabled",
+    "merge_snapshots",
     "names",
     "prometheus_text",
     "read_jsonl",

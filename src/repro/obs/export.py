@@ -12,6 +12,11 @@ Two pluggable output formats cover the operational spectrum:
 :func:`format_snapshot` is the human-facing third sibling used by
 ``repro stats``: counters, gauges, histogram percentiles, and the
 per-phase span table in fixed-width text.
+
+Both renderers also accept an already-taken snapshot *dict* in place of
+a registry, and :func:`merge_snapshots` folds several snapshots into one
+— the reduction the sharded streaming engine uses to present its
+coordinator plus N worker-shard registries as a single operator view.
 """
 
 from __future__ import annotations
@@ -19,17 +24,21 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
 
 __all__ = [
     "snapshot",
+    "merge_snapshots",
     "JsonLinesExporter",
     "read_jsonl",
     "prometheus_text",
     "format_snapshot",
 ]
+
+#: Either a live registry or a dict previously produced by :func:`snapshot`.
+SnapshotSource = Union[MetricRegistry, dict]
 
 
 def snapshot(registry: MetricRegistry) -> dict:
@@ -48,6 +57,139 @@ def snapshot(registry: MetricRegistry) -> dict:
         "gauges": gauges,
         "histograms": histograms,
         "spans": spans,
+    }
+
+
+def _as_snapshot(source: SnapshotSource) -> dict:
+    return source if isinstance(source, dict) else snapshot(source)
+
+
+def _entry_key(entry: dict) -> tuple:
+    return (entry["name"], tuple(sorted(entry.get("labels", {}).items())))
+
+
+def _bucket_percentile(
+    buckets: dict[str, int], count: int, lo: float, hi: float, q: float
+) -> float:
+    """Percentile from a snapshot's cumulative bucket dict.
+
+    Mirrors :meth:`Histogram.percentile` (linear interpolation inside
+    the covering bucket, clamped to the observed min/max) so merged
+    snapshots report percentiles the same way live registries do.
+    """
+    edges = sorted(float(k) for k in buckets)
+    rank = (q / 100.0) * count
+    running = 0.0
+    prev_cumulative = 0
+    prev_edge = 0.0 if edges and edges[0] > 0 else (edges[0] if edges else 0.0)
+    for edge in edges:
+        if edge == math.inf:
+            continue
+        c = buckets[str(edge)] - prev_cumulative
+        prev_cumulative = buckets[str(edge)]
+        if c:
+            if running + c >= rank:
+                frac = (rank - running) / c
+                est = prev_edge + frac * (edge - prev_edge)
+                return float(min(max(est, lo), hi))
+            running += c
+        prev_edge = edge
+    return float(hi)
+
+
+def _min_opt(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _max_opt(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def merge_snapshots(sources: Sequence[SnapshotSource]) -> dict:
+    """Fold several snapshots (or registries) into one snapshot dict.
+
+    Counters and gauges with the same (name, labels) sum; histograms
+    merge bucket-wise (same bucket layout assumed — all pipeline
+    histograms use the default edges) with percentiles re-estimated from
+    the merged buckets; span aggregates sum counts/totals and combine
+    extrema. This is how per-shard registries roll up into the single
+    operator snapshot of ``repro stream``.
+    """
+    counters: dict[tuple, dict] = {}
+    gauges: dict[tuple, dict] = {}
+    histograms: dict[tuple, dict] = {}
+    spans: dict[str, dict] = {}
+    for source in sources:
+        snap = _as_snapshot(source)
+        for c in snap.get("counters", ()):
+            key = _entry_key(c)
+            if key in counters:
+                counters[key]["value"] += c["value"]
+            else:
+                counters[key] = dict(c)
+        for g in snap.get("gauges", ()):
+            key = _entry_key(g)
+            if key in gauges:
+                gauges[key]["value"] += g["value"]
+            else:
+                gauges[key] = dict(g)
+        for h in snap.get("histograms", ()):
+            key = _entry_key(h)
+            if key in histograms:
+                merged = histograms[key]
+                merged["count"] += h["count"]
+                merged["sum"] += h["sum"]
+                merged["min"] = _min_opt(merged["min"], h["min"])
+                merged["max"] = _max_opt(merged["max"], h["max"])
+                buckets = dict(merged["buckets"])
+                for edge, cumulative in h["buckets"].items():
+                    buckets[edge] = buckets.get(edge, 0) + cumulative
+                merged["buckets"] = buckets
+            else:
+                histograms[key] = {**h, "buckets": dict(h["buckets"])}
+        for s in snap.get("spans", ()):
+            name = s["name"]
+            if name in spans:
+                merged = spans[name]
+                merged["count"] += s["count"]
+                merged["total_seconds"] += s["total_seconds"]
+                merged["min_seconds"] = _min_opt(
+                    merged["min_seconds"], s["min_seconds"]
+                )
+                merged["max_seconds"] = _max_opt(
+                    merged["max_seconds"], s["max_seconds"]
+                )
+                for parent, n in s["parents"].items():
+                    merged["parents"][parent] = merged["parents"].get(parent, 0) + n
+            else:
+                spans[name] = {**s, "parents": dict(s["parents"])}
+    for h in histograms.values():
+        if h["count"]:
+            for q in (50, 90, 99):
+                h[f"p{q}"] = _bucket_percentile(
+                    h["buckets"], h["count"], h["min"], h["max"], q
+                )
+        else:
+            h["p50"] = h["p90"] = h["p99"] = None
+    for s in spans.values():
+        s["mean_seconds"] = (
+            s["total_seconds"] / s["count"] if s["count"] else None
+        )
+    return {
+        "counters": [counters[k] for k in sorted(counters)],
+        "gauges": [gauges[k] for k in sorted(gauges)],
+        "histograms": [histograms[k] for k in sorted(histograms)],
+        "spans": sorted(
+            spans.values(), key=lambda s: (-s["total_seconds"], s["name"])
+        ),
     }
 
 
@@ -113,35 +255,38 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def prometheus_text(registry: MetricRegistry) -> str:
-    """Render the registry in Prometheus text exposition format."""
+def prometheus_text(source: SnapshotSource) -> str:
+    """Render a registry or snapshot dict in Prometheus text format."""
+    snap = _as_snapshot(source)
+    entries: list[tuple[tuple, str, dict]] = []
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in snap[kind]:
+            entries.append((_entry_key(entry), kind, entry))
     lines: list[str] = []
     seen_types: set[str] = set()
-    for metric in registry.metrics():
-        base = _prom_name(metric.name)
-        if isinstance(metric, Counter):
+    for _, kind, entry in sorted(entries, key=lambda item: item[0]):
+        base = _prom_name(entry["name"])
+        labels = _prom_labels(entry["labels"])
+        if kind == "counters":
             if base not in seen_types:
                 lines.append(f"# TYPE {base}_total counter")
                 seen_types.add(base)
-            labels = _prom_labels(dict(metric.labels))
-            lines.append(f"{base}_total{labels} {_fmt(metric.value)}")
-        elif isinstance(metric, Gauge):
+            lines.append(f"{base}_total{labels} {_fmt(entry['value'])}")
+        elif kind == "gauges":
             if base not in seen_types:
                 lines.append(f"# TYPE {base} gauge")
                 seen_types.add(base)
-            labels = _prom_labels(dict(metric.labels))
-            lines.append(f"{base}{labels} {_fmt(metric.value)}")
-        elif isinstance(metric, Histogram):
+            lines.append(f"{base}{labels} {_fmt(entry['value'])}")
+        else:
             if base not in seen_types:
                 lines.append(f"# TYPE {base} histogram")
                 seen_types.add(base)
-            base_labels = dict(metric.labels)
-            for edge, cumulative in metric.bucket_counts().items():
-                le = _prom_labels(base_labels, {"le": _fmt(edge)})
+            for edge in sorted(float(k) for k in entry["buckets"]):
+                le = _prom_labels(entry["labels"], {"le": _fmt(edge)})
+                cumulative = entry["buckets"][str(edge)]
                 lines.append(f"{base}_bucket{le} {cumulative}")
-            labels = _prom_labels(base_labels)
-            lines.append(f"{base}_sum{labels} {_fmt(metric.sum)}")
-            lines.append(f"{base}_count{labels} {metric.count}")
+            lines.append(f"{base}_sum{labels} {_fmt(entry['sum'])}")
+            lines.append(f"{base}_count{labels} {entry['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -154,9 +299,9 @@ def _labels_suffix(labels: dict) -> str:
     return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
 
 
-def format_snapshot(registry: MetricRegistry) -> str:
+def format_snapshot(source: SnapshotSource) -> str:
     """Fixed-width text rendering: counters, gauges, histograms, spans."""
-    snap = snapshot(registry)
+    snap = _as_snapshot(source)
     lines: list[str] = []
 
     if snap["counters"]:
@@ -187,9 +332,14 @@ def format_snapshot(registry: MetricRegistry) -> str:
             f"  {'phase':<28s} {'count':>7s} {'total_s':>10s} "
             f"{'mean_s':>10s} {'p90_s':>10s} {'max_s':>10s}"
         )
+        hist_by_name = {h["name"]: h for h in snap["histograms"]}
         for s in snap["spans"]:
-            hist = registry.get(s["name"])
-            p90 = hist.percentile(90) if isinstance(hist, Histogram) and hist.count else float("nan")
+            hist = hist_by_name.get(s["name"])
+            p90 = (
+                hist["p90"]
+                if hist is not None and hist.get("p90") is not None
+                else float("nan")
+            )
             lines.append(
                 f"  {s['name']:<28s} {s['count']:>7d} {s['total_seconds']:>10.3f} "
                 f"{s['mean_seconds']:>10.4f} {p90:>10.4f} {s['max_seconds']:>10.4f}"

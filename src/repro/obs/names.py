@@ -39,6 +39,10 @@ C_IXP_SAMPLER_FLOWS_IN = "ixp.sampler_flows_in"
 C_IXP_SAMPLER_FLOWS_KEPT = "ixp.sampler_flows_kept"
 C_DRIFT_MODELS_TRAINED = "drift.models_trained"
 C_DRIFT_DAYS_SCORED = "drift.days_scored"
+C_PARALLEL_FLOWS_DISPATCHED = "parallel.flows_dispatched"
+C_PARALLEL_SHARD_FLOWS = "parallel.shard_flows"
+C_PARALLEL_MODEL_BROADCASTS = "parallel.model_broadcasts"
+C_PARALLEL_EQUIVALENCE_CHECKS = "parallel.equivalence_checks"
 
 # -- gauges ------------------------------------------------------------
 G_STREAMING_TRAINING_FLOWS = "streaming.training_flows"
@@ -46,6 +50,7 @@ G_STREAMING_OPEN_BINS = "streaming.open_bins"
 G_STREAMING_PENDING_LABEL_BINS = "streaming.pending_label_bins"
 G_STREAMING_DAY_BUFFERS = "streaming.day_buffers"
 G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
+G_PARALLEL_SHARDS = "parallel.shards"
 
 # -- spans (histograms of seconds) -------------------------------------
 SPAN_STREAMING_INGEST = "streaming.ingest"
@@ -62,6 +67,9 @@ SPAN_FEATURES_AGGREGATE = "features.aggregate"
 SPAN_ENCODING_WOE_FIT = "encoding.woe_fit"
 SPAN_ENCODING_ASSEMBLE = "encoding.assemble"
 SPAN_IXP_SAMPLE = "ixp.sample"
+SPAN_PARALLEL_CLASSIFY = "parallel.classify"
+SPAN_PARALLEL_SHARD_CLASSIFY = "parallel.shard_classify"
+SPAN_PARALLEL_MERGE = "parallel.merge"
 SPAN_DRIFT_ONE_SHOT = "drift.one_shot"
 SPAN_DRIFT_SLIDING_WINDOW = "drift.sliding_window"
 SPAN_DRIFT_TRANSFER = "drift.transfer"

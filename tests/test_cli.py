@@ -1,0 +1,99 @@
+"""Subprocess-free CLI tests: drive ``repro.cli.main(argv)`` directly.
+
+Calling ``main`` in-process (instead of shelling out to
+``python -m repro``) keeps these fast, coverage-visible and
+debuggable; stdout/stderr are captured with pytest's ``capsys``.
+``--days 1`` keeps the synthetic workloads small.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_exits_zero_and_names_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), "repro list printed nothing"
+
+
+def test_unknown_experiment_exits_2(capsys):
+    assert main(["run", "no-such-experiment"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("bad", [["nope"], ["stats", "--days", "0"],
+                                 ["stream", "--shards", "0"],
+                                 ["stream", "--backend", "thread"],
+                                 ["stats", "--format", "xml"]])
+def test_invalid_arguments_exit_2(bad, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(bad)
+    assert exc.value.code == 2
+    capsys.readouterr()  # drain argparse usage text
+
+
+class TestStats:
+    def test_text_format(self, capsys):
+        assert main(["stats", "--days", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "== counters ==" in captured.out
+        assert "streaming.flows_ingested" in captured.out
+        assert "== spans (per phase) ==" in captured.out
+        assert "[streamed" in captured.out  # footer with verdict count
+        assert "generating 1 synthetic day(s)" in captured.err
+
+    def test_json_format_parses_and_counts(self, capsys):
+        assert main(["stats", "--days", "1", "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        assert counters["streaming.flows_ingested"] > 0
+        assert counters["streaming.bins_closed"] > 0
+
+    def test_jsonl_export(self, capsys, tmp_path):
+        path = tmp_path / "stats.jsonl"
+        assert main(["stats", "--days", "1", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        from repro import obs
+
+        rows = obs.read_jsonl(path)
+        assert len(rows) == 1 and rows[0]["days"] == 1
+
+
+class TestStream:
+    def test_sharded_text_format(self, capsys):
+        assert main(["stream", "--days", "1", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel.flows_dispatched" in out
+        assert "parallel.shard_classify" in out
+        assert "across 2 serial shard(s)" in out
+
+    def test_sharded_json_merges_shard_metrics(self, capsys):
+        assert main(
+            ["stream", "--days", "1", "--shards", "2", "--format", "json"]
+        ) == 0
+        snap = json.loads(capsys.readouterr().out)
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        # The merged snapshot carries coordinator and shard series once.
+        assert counters["parallel.shard_flows"] == counters[
+            "parallel.flows_dispatched"
+        ]
+        assert counters["streaming.flows_ingested"] > 0
+        gauges = {g["name"]: g["value"] for g in snap["gauges"]}
+        assert gauges["parallel.shards"] == 2
+
+    def test_prometheus_format_with_equivalence_check(self, capsys):
+        assert main(
+            ["stream", "--days", "1", "--shards", "2", "--check",
+             "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_parallel_flows_dispatched_total counter" in out
+        assert "repro_parallel_equivalence_checks_total" in out
+        for line in out.strip().splitlines():
+            if not line.startswith("#"):
+                assert len(line.rsplit(" ", 1)) == 2

@@ -1,0 +1,101 @@
+"""Golden-trace regression tests.
+
+Replays the frozen workloads under ``tests/golden/`` through the
+serial engine and the sharded engine (shards ∈ {1, 2, 4}; the 4-shard
+variant uses the multiprocessing backend, so the golden path also
+covers IPC round-trips) and compares every verdict against the stored
+trace. Discrete fields (bin, target, label, matched rules) must match
+exactly; scores may drift at most ``TOLERANCE`` (1e-9) to allow for
+benign float-formatting differences, nothing more.
+
+If these fail after a deliberate behaviour change, regenerate with::
+
+    PYTHONPATH=src python tests/gen_golden.py
+
+and commit the JSON diff with the change (see ``gen_golden.py``'s
+docstring for the policy).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests import gen_golden
+from repro.core.parallel import ShardedStreamingScrubber
+from repro.core.streaming import StreamingScrubber
+
+TOLERANCE = 1e-9
+
+ENGINES = {
+    "serial": lambda: StreamingScrubber(**gen_golden.ENGINE_KWARGS),
+    "shards1": lambda: ShardedStreamingScrubber(
+        n_shards=1, backend="serial", **gen_golden.ENGINE_KWARGS
+    ),
+    "shards2": lambda: ShardedStreamingScrubber(
+        n_shards=2, backend="serial", **gen_golden.ENGINE_KWARGS
+    ),
+    "shards4": lambda: ShardedStreamingScrubber(
+        n_shards=4, backend="process", **gen_golden.ENGINE_KWARGS
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def scrubber():
+    return gen_golden.build_scrubber()
+
+
+def load_trace(seed: int) -> dict:
+    path = gen_golden.trace_path(seed)
+    assert path.is_file(), (
+        f"missing golden fixture {path}; run "
+        "`PYTHONPATH=src python tests/gen_golden.py`"
+    )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("engine_id", list(ENGINES), ids=list(ENGINES))
+@pytest.mark.parametrize("seed", gen_golden.WORKLOAD_SEEDS)
+def test_verdicts_match_golden_trace(seed, engine_id, scrubber):
+    golden = load_trace(seed)
+    engine = ENGINES[engine_id]().warm_start(scrubber)
+    try:
+        verdicts = gen_golden.drive(engine, gen_golden.build_workload(seed))
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
+    actual = gen_golden.verdicts_to_records(verdicts)
+    expected = golden["verdicts"]
+    assert len(actual) == golden["n_verdicts"] == len(expected), (
+        f"{engine_id} w{seed}: {len(actual)} verdicts, "
+        f"golden has {golden['n_verdicts']}"
+    )
+    for i, (got, want) in enumerate(zip(actual, expected)):
+        for field in ("bin", "target_ip", "is_ddos", "matched_rules"):
+            assert got[field] == want[field], (
+                f"{engine_id} w{seed} verdict {i}: {field} drifted "
+                f"({got[field]!r} != {want[field]!r})"
+            )
+        drift = abs(got["score"] - want["score"])
+        assert drift <= TOLERANCE, (
+            f"{engine_id} w{seed} verdict {i}: score drifted by {drift:.3e} "
+            f"({got['score']!r} != {want['score']!r})"
+        )
+
+
+def test_fixtures_are_self_consistent():
+    """Every stored trace is sorted by (bin, target) and non-trivial."""
+    for seed in gen_golden.WORKLOAD_SEEDS:
+        golden = load_trace(seed)
+        assert golden["workload_seed"] == seed
+        keys = [(v["bin"], v["target_ip"]) for v in golden["verdicts"]]
+        assert keys == sorted(keys), f"w{seed}: trace not in emission order"
+        assert len(keys) == len(set(keys)), f"w{seed}: duplicate verdict keys"
+        assert any(v["is_ddos"] for v in golden["verdicts"]), (
+            f"w{seed}: no positive verdicts — fixture too weak to catch drift"
+        )
+        assert any(not v["is_ddos"] for v in golden["verdicts"]), (
+            f"w{seed}: no negative verdicts — fixture too weak to catch drift"
+        )

@@ -331,3 +331,116 @@ class TestStreamingStatsCompat:
         span_names = engine.registry.spans.names()
         assert names.SPAN_STREAMING_INGEST in span_names
         assert names.SPAN_STREAMING_CLOSE_BIN in span_names
+
+
+class TestBinRecloseDedupe:
+    """Regression: late flows re-opening a closed bin at a bin boundary
+    used to double-count ``streaming.bins_closed`` and the verdict
+    counters when the bin closed a second time. Each bin and each
+    (bin, target) verdict must be counted exactly once."""
+
+    @staticmethod
+    def _chunk(times, dst_ip=20):
+        from tests.conftest import make_flow
+        from repro.netflow.dataset import FlowDataset
+
+        return FlowDataset.from_records(
+            [make_flow(time=t, dst_ip=dst_ip) for t in times]
+        )
+
+    def test_bins_closed_counted_once_per_bin(self):
+        from repro.core.streaming import StreamingScrubber
+
+        engine = StreamingScrubber()
+        engine.ingest(self._chunk([5, 15]))     # bin 0 open
+        engine.ingest(self._chunk([65]))        # bin 1 arrives -> closes bin 0
+        assert engine.stats.bins_closed == 1
+        engine.ingest(self._chunk([30]))        # late flow re-opens bin 0
+        engine.ingest(self._chunk([130]))       # bin 2 -> re-closes 0, closes 1
+        assert engine.stats.bins_closed == 2    # not 3: bin 0 counted once
+        engine.flush()                          # closes bin 2
+        assert engine.stats.bins_closed == 3
+
+    def test_verdict_counters_deduped_by_bin_and_target(self):
+        from tests import strategies
+        from repro.core.labeling.balancer import balance
+        from repro.core.scrubber import IXPScrubber, ScrubberConfig
+        from repro.core.streaming import StreamingScrubber
+
+        rng = strategies.rng_for(41)
+        balanced = balance(
+            strategies.labeled_flows(rng, n_flows=2000, n_bins=6),
+            np.random.default_rng(3),
+        ).flows
+        scrubber = IXPScrubber(
+            ScrubberConfig(model="XGB", model_params={"n_estimators": 5})
+        ).fit(balanced)
+        engine = StreamingScrubber(
+            min_flows_per_verdict=1, label_grace_bins=10**6
+        ).warm_start(scrubber)
+
+        first = engine.ingest(self._chunk([5, 15, 25]))  # bin 0 open
+        first += engine.ingest(self._chunk([65]))        # closes bin 0
+        assert {(v.bin, v.target_ip) for v in first} == {(0, 20)}
+        emitted_once = engine.stats.verdicts_emitted
+        ddos_once = engine.stats.ddos_verdicts
+        assert emitted_once == 1
+
+        engine.ingest(self._chunk([40]))                 # re-opens bin 0
+        again = engine.ingest(self._chunk([130]))        # re-closes 0, closes 1
+        # The late re-classification is still *returned* to the caller...
+        assert (0, 20) in {(v.bin, v.target_ip) for v in again}
+        # ...but the metrics count each (bin, target) exactly once; only
+        # the genuinely new (1, 20) verdict increments the counters.
+        assert engine.stats.verdicts_emitted == emitted_once + 1
+        assert engine.stats.ddos_verdicts <= ddos_once + 1
+
+
+class TestMergeSnapshots:
+    def _shard(self, n):
+        reg = MetricRegistry()
+        reg.counter("t.count").inc(n)
+        reg.counter("t.shard_only", {"shard": str(n)}).inc()
+        reg.gauge("t.level").set(float(n))
+        h = reg.histogram("t.h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5 * n, 1.5, 3.0):
+            h.observe(v)
+        with reg.spans.span("t.phase"):
+            pass
+        return reg
+
+    def test_counters_and_gauges_sum_by_name_and_labels(self):
+        snap = obs.merge_snapshots([self._shard(1), self._shard(2)])
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in snap["counters"]
+        }
+        assert counters[("t.count", ())] == 3
+        # Distinct label sets stay distinct series.
+        assert counters[("t.shard_only", (("shard", "1"),))] == 1
+        assert counters[("t.shard_only", (("shard", "2"),))] == 1
+        assert snap["gauges"][0]["value"] == 3.0
+
+    def test_histograms_merge_bucketwise_with_percentiles(self):
+        snap = obs.merge_snapshots([self._shard(1), self._shard(2)])
+        h = next(e for e in snap["histograms"] if e["name"] == "t.h")
+        assert h["count"] == 6
+        assert h["sum"] == pytest.approx(0.5 + 1.5 + 3.0 + 1.0 + 1.5 + 3.0)
+        assert h["min"] == 0.5 and h["max"] == 3.0
+        assert h["buckets"]["1.0"] == 2  # 0.5 and 1.0
+        assert h["buckets"]["2.0"] == 4  # + the two 1.5s
+        assert h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]
+
+    def test_spans_sum_and_single_source_is_identity(self):
+        reg = self._shard(1)
+        merged = obs.merge_snapshots([reg, self._shard(2)])
+        (span,) = merged["spans"]
+        assert span["count"] == 2
+        assert span["mean_seconds"] == pytest.approx(
+            span["total_seconds"] / 2
+        )
+        # Merging one source reproduces its own snapshot, and dict
+        # sources (pre-taken snapshots) are accepted interchangeably.
+        assert obs.merge_snapshots([reg]) == obs.merge_snapshots(
+            [obs.snapshot(reg)]
+        )

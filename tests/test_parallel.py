@@ -1,0 +1,202 @@
+"""Unit tests for ``repro.core.parallel``: plan, backends, coordinator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests import strategies
+from repro.bgp.prefix import Prefix
+from repro.core.labeling.balancer import balance
+from repro.core.parallel import (
+    BACKENDS,
+    EquivalenceError,
+    ProcessBackend,
+    SerialBackend,
+    ShardPlan,
+    ShardedStreamingScrubber,
+    make_backend,
+)
+from repro.core.parallel.engine import EQUIVALENCE_ENV
+from repro.core.scrubber import IXPScrubber, ScrubberConfig
+
+ENGINE_KWARGS = dict(
+    window_days=2,
+    bins_per_day=48,
+    min_flows_per_verdict=3,
+    label_grace_bins=10**6,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_scrubber() -> IXPScrubber:
+    rng = strategies.rng_for(999)
+    labeled = strategies.labeled_flows(rng, n_flows=6000, n_targets=12, n_bins=20)
+    balanced = balance(labeled, np.random.default_rng(7)).flows
+    config = ScrubberConfig(model="XGB", model_params={"n_estimators": 10})
+    return IXPScrubber(config).fit(balanced)
+
+
+@pytest.fixture()
+def workload():
+    return strategies.labeled_flows(
+        strategies.rng_for(7), n_flows=400, n_targets=10, n_bins=4
+    )
+
+
+class TestShardPlan:
+    def test_assign_is_deterministic_and_in_range(self):
+        addresses = strategies.rng_for(3).integers(
+            0, 2**32, size=2000, dtype=np.uint32
+        )
+        a = ShardPlan(4).assign(addresses)
+        b = ShardPlan(4).assign(addresses)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 4
+        # The hash actually spreads load: every shard gets something.
+        assert len(np.unique(a)) == 4
+
+    def test_same_slash24_same_shard(self):
+        plan = ShardPlan(8)
+        base = 0xC6336400  # 198.51.100.0/24
+        hosts = np.arange(base, base + 256, dtype=np.uint32)
+        assert len(np.unique(plan.assign(hosts))) == 1
+        # At /32 granularity the same hosts spread across shards.
+        assert len(np.unique(ShardPlan(8, prefix_bits=32).assign(hosts))) > 1
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            ShardPlan(0)
+        with pytest.raises(ValueError):
+            ShardPlan(2, prefix_bits=33)
+        with pytest.raises(ValueError):
+            ShardPlan(2, pinned={Prefix.parse("10.0.0.0/8"): 2})
+
+    def test_pins_apply_longest_prefix_first(self):
+        plan = ShardPlan(
+            4,
+            pinned={
+                Prefix.parse("10.0.0.0/8"): 0,
+                Prefix.parse("10.1.2.0/24"): 3,
+            },
+        )
+        addresses = np.array(
+            [0x0A000001, 0x0A010201, 0x0A010301], dtype=np.uint32
+        )
+        assert plan.assign(addresses).tolist() == [0, 3, 0]
+        # Scalar lookups agree with the vectorised path, pins included.
+        for address in addresses.tolist():
+            assert plan.shard_of(address) == plan.assign(
+                np.array([address], dtype=np.uint32)
+            )[0]
+
+    def test_split_partitions_completely(self, workload):
+        plan = ShardPlan(4)
+        parts = plan.split(workload)
+        assert sum(len(p) for p in parts) == len(workload)
+        for shard, part in enumerate(parts):
+            if len(part):
+                assert (plan.assign(part.dst_ip) == shard).all()
+
+
+class TestBackends:
+    def test_make_backend_names_and_unknown(self):
+        assert set(BACKENDS) == {"serial", "process"}
+        assert isinstance(make_backend("serial", 2), SerialBackend)
+        with pytest.raises(ValueError, match="thread"):
+            make_backend("thread", 2)
+
+    def test_classify_before_broadcast_raises(self, workload):
+        backend = make_backend("serial", 2)
+        with pytest.raises(RuntimeError):
+            backend.classify(ShardPlan(2).split(workload), min_flows=1)
+
+    def test_process_matches_serial_backend(self, fitted_scrubber, workload):
+        shard_flows = ShardPlan(2).split(workload)
+        serial = make_backend("serial", 2)
+        serial.broadcast(fitted_scrubber)
+        expected = serial.classify(shard_flows, min_flows=3)
+        process = ProcessBackend(2)
+        try:
+            process.broadcast(fitted_scrubber)
+            actual = process.classify(shard_flows, min_flows=3)
+        finally:
+            process.close()
+        assert actual == expected
+        assert any(len(v) for v in expected)
+
+    def test_process_close_is_idempotent(self):
+        backend = ProcessBackend(2)
+        backend.close()
+        backend.close()
+
+
+class TestShardedEngine:
+    def test_context_manager_and_double_close(self, fitted_scrubber, workload):
+        with ShardedStreamingScrubber(
+            n_shards=2, **ENGINE_KWARGS
+        ) as engine:
+            engine.warm_start(fitted_scrubber)
+            assert engine.is_ready and engine.model is fitted_scrubber
+            assert engine.n_shards == 2 and engine.backend_name == "serial"
+            verdicts = engine.ingest(workload) + engine.flush()
+            assert verdicts
+        engine.close()  # second close is a no-op
+
+    def test_equivalence_check_counts_and_passes(self, fitted_scrubber, workload):
+        engine = ShardedStreamingScrubber(
+            n_shards=2, equivalence_check=True, **ENGINE_KWARGS
+        ).warm_start(fitted_scrubber)
+        engine.ingest(workload)
+        engine.flush()
+        checks = engine.registry.get("parallel.equivalence_checks")
+        assert checks is not None and checks.value == 2
+
+    def test_equivalence_error_on_divergence(self, fitted_scrubber, workload):
+        engine = ShardedStreamingScrubber(
+            n_shards=2, equivalence_check=True, **ENGINE_KWARGS
+        ).warm_start(fitted_scrubber)
+        # Sabotage the shadow: no model -> it emits no verdicts while
+        # the sharded engine does, so the first ingest must trip.
+        engine._shadow._scrubber = None
+        with pytest.raises(EquivalenceError):
+            engine.ingest(workload)
+
+    def test_equivalence_env_var_default(self, monkeypatch):
+        monkeypatch.setenv(EQUIVALENCE_ENV, "1")
+        assert ShardedStreamingScrubber(**ENGINE_KWARGS)._shadow is not None
+        monkeypatch.setenv(EQUIVALENCE_ENV, "0")
+        assert ShardedStreamingScrubber(**ENGINE_KWARGS)._shadow is None
+        monkeypatch.delenv(EQUIVALENCE_ENV)
+        assert ShardedStreamingScrubber(**ENGINE_KWARGS)._shadow is None
+
+    def test_merged_snapshot_counts_stream_totals_once(
+        self, fitted_scrubber, workload
+    ):
+        engine = ShardedStreamingScrubber(
+            n_shards=4, **ENGINE_KWARGS
+        ).warm_start(fitted_scrubber)
+        engine.ingest(workload)
+        engine.flush()
+        snap = engine.merged_snapshot()
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        # Coordinator-owned stream totals appear exactly once, not once
+        # per shard registry.
+        assert counters["streaming.flows_ingested"] == len(workload)
+        # Every dispatched flow reached exactly one shard.
+        assert counters["parallel.shard_flows"] == counters[
+            "parallel.flows_dispatched"
+        ]
+        assert counters["parallel.model_broadcasts"] == 1
+        gauges = {g["name"]: g["value"] for g in snap["gauges"]}
+        assert gauges["parallel.shards"] == 4
+        span_names = {s["name"] for s in snap["spans"]}
+        assert {"parallel.classify", "parallel.shard_classify",
+                "parallel.merge"} <= span_names
+
+    def test_min_flows_threshold_respected(self, fitted_scrubber, workload):
+        engine = ShardedStreamingScrubber(
+            n_shards=2, **{**ENGINE_KWARGS, "min_flows_per_verdict": 10**9}
+        ).warm_start(fitted_scrubber)
+        assert engine.ingest(workload) + engine.flush() == []
