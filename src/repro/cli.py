@@ -10,7 +10,11 @@
 * ``repro stream --shards N`` does the same through the sharded
   parallel engine (``repro.core.parallel``), printing the merged
   coordinator + per-shard snapshot; ``--check`` runs the serial
-  equivalence shadow alongside.
+  equivalence shadow alongside. ``--backend supervised`` (or any
+  fault/supervision flag, which upgrades ``process`` automatically)
+  runs workers under the fault-tolerant supervisor of
+  ``repro.core.resilience``; ``--faults`` / the ``REPRO_FAULTS``
+  environment variable inject a deterministic chaos plan.
 """
 
 from __future__ import annotations
@@ -28,6 +32,30 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _fault_plan(text: str):
+    """argparse type for ``--faults`` (ValueError -> usage error)."""
+    from repro.core.resilience import FaultPlan
+
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -136,16 +164,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_stream_backend(args: argparse.Namespace) -> tuple[str, dict]:
+    """Pick the backend + options for ``repro stream``.
+
+    Supervision knobs (``--faults``, ``--shard-timeout``,
+    ``--max-restarts``) and a ``REPRO_FAULTS`` environment plan only
+    make sense with worker supervision, so any of them upgrades
+    ``--backend process`` to ``supervised`` (with a stderr note); on
+    the serial backend they are rejected as a usage error.
+    """
+    from repro.core.resilience import FAULTS_ENV, FaultPlan
+
+    backend = args.backend
+    plan = args.faults if args.faults is not None else FaultPlan.from_env()
+    wants_supervision = bool(plan) or args.shard_timeout is not None \
+        or args.max_restarts is not None
+    if backend == "serial":
+        if args.faults is not None or args.shard_timeout is not None \
+                or args.max_restarts is not None:
+            print(
+                "error: --faults/--shard-timeout/--max-restarts require "
+                "--backend process or supervised",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return backend, {}
+    if backend == "process":
+        if not wants_supervision:
+            return backend, {}
+        source = "--faults" if args.faults is not None else (
+            f"{FAULTS_ENV} set" if plan else "supervision flags given"
+        )
+        print(
+            f"[{source}: upgrading process backend to supervised]",
+            file=sys.stderr,
+        )
+        backend = "supervised"
+    options: dict = {"fault_plan": plan}
+    if args.shard_timeout is not None:
+        options["shard_timeout"] = args.shard_timeout
+    if args.max_restarts is not None:
+        options["max_restarts"] = args.max_restarts
+    return backend, options
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     """Drive the sharded parallel engine; print the merged snapshot."""
     from repro.core.parallel import ShardedStreamingScrubber
     from repro.core.scrubber import ScrubberConfig
 
+    backend, backend_options = _resolve_stream_backend(args)
     profile, capture = _stream_workload(args.days, args.seed)
     engine = ShardedStreamingScrubber(
         config=ScrubberConfig(model="XGB", model_params={"n_estimators": 10}),
         n_shards=args.shards,
-        backend=args.backend,
+        backend=backend,
+        backend_options=backend_options,
         equivalence_check=True if args.check else None,
         window_days=2,
         bins_per_day=profile.bins_per_day,
@@ -157,13 +231,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     finally:
         engine.close()
     rate = len(capture.flows) / elapsed if elapsed > 0 else float("inf")
+    resilience_note = ""
+    if backend == "supervised":
+        counters = {c["name"]: int(c["value"]) for c in snap["counters"]}
+        resilience_note = (
+            f"; resilience: {counters.get('resilience.worker_restarts', 0)} "
+            f"restarts, {counters.get('resilience.batches_quarantined', 0)} "
+            f"quarantined, {counters.get('resilience.deadline_misses', 0)} "
+            "deadline misses"
+        )
     _print_snapshot(
         snap,
         args.format,
         f"\n[streamed {len(capture.flows):,} flows -> {n_verdicts} verdicts "
         f"in {elapsed:.1f}s ({rate:,.0f} flows/s) across {args.shards} "
-        f"{args.backend} shard(s); model ready: {engine.is_ready}"
-        f"{'; equivalence checked' if args.check else ''}]",
+        f"{backend} shard(s); model ready: {engine.is_ready}"
+        f"{'; equivalence checked' if args.check else ''}{resilience_note}]",
     )
     return 0
 
@@ -232,14 +315,34 @@ def main(argv: list[str] | None = None) -> int:
     )
     stream_parser.add_argument(
         "--backend",
-        choices=("serial", "process"),
+        choices=("serial", "process", "supervised"),
         default="serial",
-        help="shard execution backend",
+        help="shard execution backend (supervised = fault-tolerant workers)",
     )
     stream_parser.add_argument(
         "--check",
         action="store_true",
         help="assert verdict equivalence against a shadow serial engine",
+    )
+    stream_parser.add_argument(
+        "--shard-timeout",
+        type=_positive_float,
+        metavar="SECONDS",
+        help="supervised backend: deadline for any single shard reply",
+    )
+    stream_parser.add_argument(
+        "--max-restarts",
+        type=_nonnegative_int,
+        metavar="N",
+        help="supervised backend: per-shard restart budget before the "
+        "shard degrades to serial execution",
+    )
+    stream_parser.add_argument(
+        "--faults",
+        type=_fault_plan,
+        metavar="PLAN",
+        help="deterministic fault-injection plan, e.g. "
+        "'crash@0:batch=3;slow@*:secs=0.05' (default: $REPRO_FAULTS)",
     )
     stream_parser.add_argument(
         "--format",

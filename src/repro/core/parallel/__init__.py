@@ -9,7 +9,10 @@ for the harness that enforces it).
 
 * :class:`ShardPlan` — target-prefix hash sharding with operator pins;
 * :class:`ShardedStreamingScrubber` — the coordinator engine;
-* :class:`SerialBackend` / :class:`ProcessBackend` — where shard work runs;
+* :class:`SerialBackend` / :class:`ProcessBackend` — where shard work runs
+  (plus the fault-tolerant ``supervised`` backend from
+  :mod:`repro.core.resilience`);
+* :class:`ShardFailure` — typed dead-worker error from the process backend;
 * :class:`EquivalenceError` — raised by the debug equivalence shadow.
 """
 
@@ -17,6 +20,7 @@ from repro.core.parallel.backends import (
     BACKENDS,
     ProcessBackend,
     SerialBackend,
+    ShardFailure,
     make_backend,
 )
 from repro.core.parallel.engine import EquivalenceError, ShardedStreamingScrubber
@@ -27,6 +31,7 @@ __all__ = [
     "EquivalenceError",
     "ProcessBackend",
     "SerialBackend",
+    "ShardFailure",
     "ShardPlan",
     "ShardedStreamingScrubber",
     "make_backend",

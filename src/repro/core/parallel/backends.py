@@ -4,7 +4,7 @@ A backend owns the N per-shard classification contexts: the deployed
 model (re-broadcast after every retrain), a per-shard
 :class:`~repro.obs.MetricRegistry`, and the frozen-WoE
 :class:`~repro.core.encoding.matrix.MatrixAssembler` reused across bins
-of one retrain epoch. Two implementations:
+of one retrain epoch. Three implementations:
 
 * :class:`SerialBackend` — runs shards sequentially in-process. The
   default: zero IPC cost, same results, and on a single-core host the
@@ -13,17 +13,25 @@ of one retrain epoch. Two implementations:
   method when available, ``spawn`` otherwise) fed over pipes with one
   chunked message per closed-bin batch; models travel as pickle blobs,
   flow columns as raw numpy arrays, verdicts come back as plain
-  dataclass lists.
+  dataclass lists. A dead worker raises a typed :class:`ShardFailure`
+  instead of hanging or leaking a raw pipe error.
+* :class:`~repro.core.resilience.SupervisedProcessBackend` — the
+  production wrapper: per-request deadlines, automatic restart with
+  model re-broadcast, poison-batch quarantine and graceful degradation
+  to serial execution (see :mod:`repro.core.resilience`).
 
-Both produce verdicts through the same
+All of them produce verdicts through the same
 :meth:`~repro.core.scrubber.IXPScrubber.classify_flows_batch` call, so
-backend choice can never change results — only where the work runs.
+backend choice can never change results — only where the work runs and
+how failures are handled.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import time
 from typing import Optional, Sequence
 
 from repro import obs
@@ -31,7 +39,28 @@ from repro.core.scrubber import IXPScrubber, TargetVerdict
 from repro.netflow.dataset import FlowDataset
 from repro.obs import names
 
-__all__ = ["SerialBackend", "ProcessBackend", "make_backend", "BACKENDS"]
+__all__ = [
+    "SerialBackend",
+    "ProcessBackend",
+    "ShardFailure",
+    "make_backend",
+    "BACKENDS",
+]
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker died or its pipe broke mid-operation.
+
+    Raised by :class:`ProcessBackend` when it detects a dead worker (the
+    unsupervised backend surfaces the failure to its caller); the
+    supervised backend catches the same conditions internally and
+    recovers instead.
+    """
+
+    def __init__(self, shard: int, reason: str):
+        super().__init__(f"shard {shard}: {reason}")
+        self.shard = shard
+        self.reason = reason
 
 
 class SerialBackend:
@@ -79,8 +108,38 @@ class SerialBackend:
         """Release backend resources (no-op for in-process shards)."""
 
 
+def _execute_fault(conn, directive) -> bool:
+    """Run an injected fault directive inside the worker.
+
+    Returns True if the directive consumed the reply (the caller must
+    not send a verdict list for this request). ``crash`` never returns.
+    """
+    kind, seconds = directive
+    if kind == "crash":
+        # A hard exit, not an exception: simulates OOM kills and
+        # segfaults, the failures a supervisor actually sees.
+        os._exit(70)
+    if kind in ("hang", "slow"):
+        # A hang sleeps past any deadline (the parent kills us); a slow
+        # shard adds bounded latency and then answers correctly.
+        time.sleep(seconds)
+        return False
+    if kind == "corrupt":
+        # Raw bytes that cannot unpickle: the parent's recv() raises,
+        # exercising the torn-frame / corrupted-pipe path.
+        conn.send_bytes(b"\xde\xad\xbe\xef repro corrupt frame")
+        return True
+    return False
+
+
 def _worker_main(conn, shard_index: int) -> None:
-    """Worker loop: react to model / classify / snapshot / stop messages."""
+    """Worker loop: react to model / classify / snapshot / stop messages.
+
+    A classify message may carry an optional fault directive as its
+    fourth element — evaluated by the supervisor's deterministic
+    :class:`~repro.core.resilience.FaultPlan` and executed here, so
+    chaos tests fail in the real worker code path.
+    """
     registry = obs.MetricRegistry()
     scrubber: Optional[IXPScrubber] = None
     assembler = None
@@ -97,6 +156,9 @@ def _worker_main(conn, shard_index: int) -> None:
             assembler = scrubber.make_assembler()
         elif kind == "classify":
             columns, min_flows = message[1], message[2]
+            directive = message[3] if len(message) > 3 else None
+            if directive is not None and _execute_fault(conn, directive):
+                continue
             flows = FlowDataset(columns)
             with obs.use_registry(registry):
                 with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
@@ -117,6 +179,11 @@ class ProcessBackend:
     assembler are deserialised once per retrain, not once per bin. All
     requests are answered in shard order, keeping the reduce step
     deterministic regardless of worker scheduling.
+
+    Failure model: this backend does not *recover* — a worker found
+    dead raises :class:`ShardFailure` so the caller can decide. Use
+    :class:`~repro.core.resilience.SupervisedProcessBackend` for
+    deadlines, restarts and graceful degradation.
     """
 
     name = "process"
@@ -126,24 +193,43 @@ class ProcessBackend:
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
-        ctx = multiprocessing.get_context(start_method)
-        self._conns = []
-        self._procs = []
-        for shard in range(n_shards):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(child_conn, shard), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._ctx = multiprocessing.get_context(start_method)
+        # Pre-size so close() is safe however far __init__ got.
+        self._conns: list = [None] * n_shards
+        self._procs: list = [None] * n_shards
+        try:
+            for shard in range(n_shards):
+                self._start_worker(shard)
+        except BaseException:
+            self.close()
+            raise
+
+    def _start_worker(self, shard: int) -> None:
+        """(Re)spawn the worker process serving one shard slot."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn, shard), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = proc
 
     def broadcast(self, scrubber: IXPScrubber) -> None:
-        """Ship the pickled model to every worker."""
+        """Ship the pickled model to every worker.
+
+        Raises :class:`ShardFailure` naming the dead shard if a worker
+        exited (or its pipe broke) before the model reached it.
+        """
         blob = pickle.dumps(scrubber)
-        for conn in self._conns:
-            conn.send(("model", blob))
+        for shard, conn in enumerate(self._conns):
+            proc = self._procs[shard]
+            if proc is None or not proc.is_alive():
+                raise ShardFailure(shard, "worker process died before broadcast")
+            try:
+                conn.send(("model", blob))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardFailure(shard, f"model broadcast failed: {exc}") from exc
 
     def classify(
         self, shard_flows: Sequence[Optional[FlowDataset]], min_flows: int
@@ -153,11 +239,20 @@ class ProcessBackend:
         for shard, flows in enumerate(shard_flows):
             if flows is None or len(flows) == 0:
                 continue
-            self._conns[shard].send(("classify", flows.to_columns(), min_flows))
+            try:
+                self._conns[shard].send(("classify", flows.to_columns(), min_flows))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardFailure(shard, f"batch dispatch failed: {exc}") from exc
             active.append(shard)
         out: list[list[TargetVerdict]] = [[] for _ in shard_flows]
         for shard in active:
-            out[shard] = self._conns[shard].recv()
+            try:
+                out[shard] = self._conns[shard].recv()
+            except (EOFError, OSError, pickle.UnpicklingError) as exc:
+                raise ShardFailure(
+                    shard,
+                    f"worker died mid-batch: {exc if str(exc) else type(exc).__name__}",
+                ) from exc
         return out
 
     def snapshots(self) -> list[dict]:
@@ -167,34 +262,64 @@ class ProcessBackend:
         return [conn.recv() for conn in self._conns]
 
     def close(self) -> None:
-        """Stop all workers and reap them."""
+        """Stop all workers and reap them.
+
+        Idempotent, and safe after a partially failed ``__init__``:
+        slots that never spawned are skipped, started workers are
+        stopped and joined.
+        """
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+                proc.join(timeout=1)
         for conn in self._conns:
-            conn.close()
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
         self._conns = []
         self._procs = []
+
+
+def _supervised_backend(*args, **kwargs):
+    # Imported lazily: repro.core.resilience imports this module.
+    from repro.core.resilience.supervisor import SupervisedProcessBackend
+
+    return SupervisedProcessBackend(*args, **kwargs)
 
 
 BACKENDS = {
     SerialBackend.name: SerialBackend,
     ProcessBackend.name: ProcessBackend,
+    "supervised": _supervised_backend,
 }
 
 
-def make_backend(name: str, n_shards: int):
-    """Instantiate a backend by name (``serial`` or ``process``)."""
+def make_backend(name: str, n_shards: int, **kwargs):
+    """Instantiate a backend by name, forwarding backend kwargs.
+
+    ``serial`` takes no extra options; ``process`` accepts
+    ``start_method`` (``"fork"``/``"spawn"``); ``supervised`` adds the
+    supervision knobs (``shard_timeout``, ``max_restarts``,
+    ``fault_plan``, ... — see
+    :class:`~repro.core.resilience.SupervisedProcessBackend`).
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         ) from None
-    return cls(n_shards)
+    return cls(n_shards, **kwargs)

@@ -81,8 +81,14 @@ class ShardedStreamingScrubber(ShardableEngine):
     n_shards / plan:
         Shard count, or a full :class:`ShardPlan` (pins, prefix bits).
     backend:
-        ``"serial"`` (in-process, the default) or ``"process"``
-        (persistent worker processes). Verdicts do not depend on this.
+        ``"serial"`` (in-process, the default), ``"process"``
+        (persistent worker processes) or ``"supervised"`` (worker
+        processes under the fault-tolerant supervisor of
+        :mod:`repro.core.resilience`). Verdicts do not depend on this.
+    backend_options:
+        Extra keyword arguments forwarded to the backend constructor —
+        ``start_method`` for the process backends; ``shard_timeout``,
+        ``max_restarts``, ``fault_plan``, ... for ``supervised``.
     equivalence_check:
         Run a shadow serial engine on the same input and assert verdict
         equality on every call. Defaults to the
@@ -98,6 +104,7 @@ class ShardedStreamingScrubber(ShardableEngine):
         plan: Optional[ShardPlan] = None,
         equivalence_check: Optional[bool] = None,
         registry: Optional[obs.MetricRegistry] = None,
+        backend_options: Optional[dict] = None,
         **engine_kwargs,
     ):
         self.plan = plan if plan is not None else ShardPlan(n_shards)
@@ -106,7 +113,9 @@ class ShardedStreamingScrubber(ShardableEngine):
         )
         self.registry = self._inner.registry
         self.stats = self._inner.stats
-        self._backend = make_backend(backend, self.plan.n_shards)
+        self._backend = make_backend(
+            backend, self.plan.n_shards, **(backend_options or {})
+        )
         self._broadcast_model: Optional[IXPScrubber] = None
         if equivalence_check is None:
             equivalence_check = os.environ.get(EQUIVALENCE_ENV, "") not in ("", "0")
@@ -213,18 +222,16 @@ class ShardedStreamingScrubber(ShardableEngine):
     # -- observability --------------------------------------------------
     def merged_snapshot(self) -> dict:
         """Coordinator + all shard registries folded into one snapshot."""
-        shard_snaps = [
-            _strip_coordinator_names(snap) for snap in self._backend.snapshots()
-        ]
+        # The registry is active while fetching so supervised-backend
+        # bookkeeping during the fetch (deadline misses on a dead
+        # worker) lands in the coordinator's series, not the default's.
+        with obs.use_registry(self.registry):
+            shard_snaps = [
+                _strip_coordinator_names(snap) for snap in self._backend.snapshots()
+            ]
         return obs.merge_snapshots([obs.snapshot(self.registry), *shard_snaps])
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         """Shut down backend workers (idempotent)."""
         self._backend.close()
-
-    def __enter__(self) -> "ShardedStreamingScrubber":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

@@ -1,0 +1,397 @@
+"""Supervised shard execution: deadlines, restarts, quarantine, degradation.
+
+:class:`SupervisedProcessBackend` wraps the persistent-worker execution
+of :class:`~repro.core.parallel.backends.ProcessBackend` in a
+supervision loop with a *tested failure model*:
+
+* **Deadlines** — every pipe read goes through ``poll(timeout)``; no
+  blocking call in this backend waits longer than ``shard_timeout``.
+  A missed deadline counts (``resilience.deadline_misses``) and is
+  treated as a worker failure.
+* **Restart + re-broadcast** — a dead, hung, or corrupted worker is
+  reaped and respawned (``resilience.worker_restarts``), the current
+  model blob is re-sent, and the in-flight batch is retried with a
+  small backoff (``resilience.batch_retries``).
+* **Poison-batch quarantine** — a batch whose attempts kill workers
+  ``batch_attempts`` times (default twice) is classified in-process by
+  the coordinator (``resilience.batches_quarantined``) so one bad bin
+  can never wedge the stream.
+* **Graceful degradation** — more than ``max_restarts`` restarts of one
+  shard within a window of ``restart_window`` classify calls stops the
+  respawn loop: the shard permanently falls back to serial in-process
+  execution (``resilience.degraded_shards`` gauge, a clear log line),
+  and the run completes correctly instead of thrashing.
+
+Every fallback path classifies through the same
+:meth:`~repro.core.scrubber.IXPScrubber.classify_flows_batch` call the
+workers use, so verdicts stay **bit-identical** to the serial engine no
+matter which failures occurred — the property the chaos tests assert.
+
+Failures can be injected deterministically with a
+:class:`~repro.core.resilience.faults.FaultPlan` (or the
+``REPRO_FAULTS`` environment variable); the supervisor evaluates the
+plan per dispatch attempt and ships directives to the worker, which
+executes them in :func:`~repro.core.parallel.backends._worker_main`.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.core.parallel.backends import ProcessBackend
+from repro.core.resilience.faults import FaultPlan
+from repro.core.scrubber import IXPScrubber, TargetVerdict
+from repro.netflow.dataset import FlowDataset
+from repro.obs import names
+
+__all__ = ["SupervisedProcessBackend"]
+
+log = logging.getLogger("repro.resilience")
+
+#: Sentinel distinguishing "attempt failed" from any legitimate reply.
+_FAILED = object()
+
+#: Exceptions that mean "this worker (or its pipe) is gone/garbled".
+_PIPE_ERRORS = (EOFError, OSError, pickle.UnpicklingError)
+
+
+class SupervisedProcessBackend(ProcessBackend):
+    """A :class:`ProcessBackend` that survives its workers.
+
+    Parameters
+    ----------
+    n_shards, start_method:
+        As for :class:`~repro.core.parallel.backends.ProcessBackend`.
+    shard_timeout:
+        Deadline in seconds for any single pipe read. A worker that
+        does not answer within it is killed and restarted.
+    max_restarts:
+        Restart budget per shard: more than this many restarts within
+        ``restart_window`` classify calls degrades the shard to serial
+        in-process execution for the rest of the run.
+    restart_window:
+        Width of the restart-budget window, measured in classify calls
+        (deterministic — no wall clock in the failure model).
+    batch_attempts:
+        Total attempts a batch gets before quarantine (default 2: the
+        original dispatch plus one retry — "killed a worker twice").
+    retry_backoff:
+        Seconds slept before retry ``n`` (scaled by ``n``); purely a
+        pacing knob, it never affects verdicts.
+    fault_plan:
+        Deterministic fault injection plan. Defaults to parsing the
+        ``REPRO_FAULTS`` environment variable; pass ``FaultPlan()`` to
+        force faults off regardless of the environment.
+
+    Resilience metrics are recorded into the *active* registry (the
+    coordinator engine activates its own around classification), under
+    the ``resilience.*`` names documented in ``docs/METRICS.md``.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        n_shards: int,
+        start_method: Optional[str] = None,
+        shard_timeout: float = 30.0,
+        max_restarts: int = 3,
+        restart_window: int = 64,
+        batch_attempts: int = 2,
+        retry_backoff: float = 0.01,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        if shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0 seconds")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if restart_window < 1:
+            raise ValueError("restart_window must be >= 1 classify calls")
+        if batch_attempts < 1:
+            raise ValueError("batch_attempts must be >= 1")
+        self.shard_timeout = float(shard_timeout)
+        self.max_restarts = int(max_restarts)
+        self.restart_window = int(restart_window)
+        self.batch_attempts = int(batch_attempts)
+        self.retry_backoff = float(retry_backoff)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self._scrubber: Optional[IXPScrubber] = None
+        self._blob: Optional[bytes] = None
+        self._tick = 0  # classify-call counter; the restart-window clock
+        self._seq = [0] * n_shards  # per-shard lifetime dispatch counter
+        self._epoch_seq = [0] * n_shards  # per-shard dispatches this epoch
+        self._degraded = [False] * n_shards
+        self._restart_ticks = [deque() for _ in range(n_shards)]
+        # Quarantined/degraded work records here, mirroring what the
+        # worker's registry would have seen (shard_classify span,
+        # shard_flows counter), and is merged into snapshots().
+        self._fallback_registries = [obs.MetricRegistry() for _ in range(n_shards)]
+        self._fallback_assembler = None
+        self._fallback_model: Optional[IXPScrubber] = None
+        super().__init__(n_shards, start_method=start_method)
+
+    # -- model distribution --------------------------------------------
+    def broadcast(self, scrubber: IXPScrubber) -> None:
+        """Ship the model to every live shard, restarting dead ones.
+
+        Unlike the unsupervised backend this never raises on a dead
+        worker — the restart path re-sends the model, and a shard past
+        its restart budget degrades instead.
+        """
+        self._scrubber = scrubber
+        self._blob = pickle.dumps(scrubber)
+        self._epoch_seq = [0] * self.n_shards
+        for shard in range(self.n_shards):
+            if self._degraded[shard]:
+                continue
+            proc = self._procs[shard]
+            if proc is None or not proc.is_alive():
+                # _restart_worker re-sends the model blob itself.
+                self._restart_worker(shard, "worker found dead at model broadcast")
+                continue
+            try:
+                self._conns[shard].send(("model", self._blob))
+            except (BrokenPipeError, OSError):
+                self._restart_worker(shard, "pipe broke during model broadcast")
+
+    # -- classification -------------------------------------------------
+    def classify(
+        self, shard_flows: Sequence[Optional[FlowDataset]], min_flows: int
+    ) -> list[list[TargetVerdict]]:
+        """Deadline-supervised dispatch/collect with retry and fallback."""
+        if self._scrubber is None:
+            raise RuntimeError("no model broadcast to shards yet")
+        self._tick += 1
+        out: list[list[TargetVerdict]] = [[] for _ in shard_flows]
+        pending: list[tuple[int, FlowDataset, int, int]] = []
+        local: list[int] = []
+        for shard, flows in enumerate(shard_flows):
+            if flows is None or len(flows) == 0:
+                continue
+            run_seq, epoch_seq = self._seq[shard], self._epoch_seq[shard]
+            self._seq[shard] += 1
+            self._epoch_seq[shard] += 1
+            if self._degraded[shard]:
+                local.append(shard)
+            elif self._dispatch(shard, flows, min_flows, run_seq, epoch_seq, 0):
+                pending.append((shard, flows, run_seq, epoch_seq))
+            else:
+                local.append(shard)  # degraded during dispatch
+        # Degraded shards compute while live workers chew their batches.
+        for shard in local:
+            out[shard] = self._classify_fallback(shard, shard_flows[shard], min_flows)
+        for shard, flows, run_seq, epoch_seq in pending:
+            out[shard] = self._collect(shard, flows, min_flows, run_seq, epoch_seq)
+        return out
+
+    def _dispatch(
+        self,
+        shard: int,
+        flows: FlowDataset,
+        min_flows: int,
+        run_seq: int,
+        epoch_seq: int,
+        attempt: int,
+    ) -> bool:
+        """Send one classify request; False once the shard is degraded."""
+        while not self._degraded[shard]:
+            proc = self._procs[shard]
+            if proc is None or not proc.is_alive():
+                if not self._restart_worker(shard, "worker found dead before dispatch"):
+                    return False
+                continue
+            directive = None
+            if self.fault_plan:
+                directive = self.fault_plan.directive(shard, run_seq, epoch_seq, attempt)
+                if directive is not None:
+                    obs.counter(names.C_RESILIENCE_FAULTS_INJECTED).inc()
+            try:
+                self._conns[shard].send(
+                    ("classify", flows.to_columns(), min_flows, directive)
+                )
+                return True
+            except (BrokenPipeError, OSError):
+                if not self._restart_worker(shard, "pipe broke during dispatch"):
+                    return False
+        return False
+
+    def _collect(
+        self,
+        shard: int,
+        flows: FlowDataset,
+        min_flows: int,
+        run_seq: int,
+        epoch_seq: int,
+    ) -> list[TargetVerdict]:
+        """Await one shard's reply, retrying through restarts."""
+        attempt = 0
+        while True:
+            reply = self._await_reply(shard)
+            if reply is not _FAILED:
+                return reply
+            attempt += 1
+            if self._degraded[shard]:
+                return self._classify_fallback(shard, flows, min_flows)
+            if attempt >= self.batch_attempts:
+                return self._quarantine(shard, flows, min_flows)
+            obs.counter(names.C_RESILIENCE_BATCH_RETRIES).inc()
+            if self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * attempt)
+            if not self._dispatch(shard, flows, min_flows, run_seq, epoch_seq, attempt):
+                return self._classify_fallback(shard, flows, min_flows)
+
+    def _await_reply(self, shard: int):
+        """One deadline-bounded read; ``_FAILED`` (+ restart) on trouble."""
+        conn = self._conns[shard]
+        try:
+            if not conn.poll(self.shard_timeout):
+                obs.counter(names.C_RESILIENCE_DEADLINE_MISSES).inc()
+                self._restart_worker(
+                    shard, f"no reply within the {self.shard_timeout:.1f}s deadline"
+                )
+                return _FAILED
+            return conn.recv()
+        except _PIPE_ERRORS as exc:
+            self._restart_worker(
+                shard, f"worker died mid-batch: {exc if str(exc) else type(exc).__name__}"
+            )
+            return _FAILED
+
+    # -- recovery -------------------------------------------------------
+    def _restart_worker(self, shard: int, reason: str) -> bool:
+        """Reap and respawn one worker; False if the shard degraded.
+
+        The restart budget is checked first: more than ``max_restarts``
+        restarts within the trailing ``restart_window`` classify calls
+        degrades the shard instead of spawning another doomed worker.
+        A fresh worker immediately receives the current model blob.
+        """
+        self._reap(shard)
+        ticks = self._restart_ticks[shard]
+        ticks.append(self._tick)
+        while ticks and ticks[0] <= self._tick - self.restart_window:
+            ticks.popleft()
+        if len(ticks) > self.max_restarts:
+            self._degrade(shard, reason)
+            return False
+        with obs.span(names.SPAN_RESILIENCE_RESTART):
+            obs.counter(names.C_RESILIENCE_WORKER_RESTARTS).inc()
+            log.warning(
+                "shard %d: %s; restarting worker (restart %d/%d in window)",
+                shard, reason, len(ticks), self.max_restarts,
+            )
+            self._start_worker(shard)
+            if self._blob is not None:
+                try:
+                    self._conns[shard].send(("model", self._blob))
+                except (BrokenPipeError, OSError):  # pragma: no cover - instant death
+                    self._degrade(shard, "model re-broadcast to fresh worker failed")
+                    return False
+        return True
+
+    def _reap(self, shard: int) -> None:
+        """Tear down one worker slot (bounded: terminate, short joins)."""
+        conn, proc = self._conns[shard], self._procs[shard]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - ignores SIGTERM
+                proc.kill()
+                proc.join(timeout=1)
+        self._conns[shard] = None
+        self._procs[shard] = None
+
+    def _degrade(self, shard: int, reason: str) -> None:
+        """Permanently fall back to serial in-process execution."""
+        if self._degraded[shard]:
+            return
+        self._degraded[shard] = True
+        self._reap(shard)
+        obs.gauge(names.G_RESILIENCE_DEGRADED_SHARDS).set(sum(self._degraded))
+        log.error(
+            "shard %d: degraded to serial in-process execution after "
+            "%d restarts within %d classify calls (%s); verdicts are "
+            "unaffected, throughput is",
+            shard, len(self._restart_ticks[shard]), self.restart_window, reason,
+        )
+
+    # -- in-process fallback --------------------------------------------
+    def _classify_fallback(
+        self, shard: int, flows: FlowDataset, min_flows: int
+    ) -> list[TargetVerdict]:
+        """Classify a shard batch in the coordinator process.
+
+        Identical code path to the workers (and the serial engine):
+        ``classify_flows_batch`` with a frozen-WoE assembler — which is
+        why degraded and quarantined batches keep verdicts bit-identical.
+        """
+        scrubber = self._scrubber
+        if scrubber is not self._fallback_model:
+            self._fallback_assembler = scrubber.make_assembler()
+            self._fallback_model = scrubber
+        with obs.use_registry(self._fallback_registries[shard]):
+            with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
+                obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
+                return scrubber.classify_flows_batch(
+                    flows, min_flows=min_flows, assembler=self._fallback_assembler
+                )
+
+    def _quarantine(
+        self, shard: int, flows: FlowDataset, min_flows: int
+    ) -> list[TargetVerdict]:
+        """Poison batch: classify in-process and record the quarantine."""
+        obs.counter(names.C_RESILIENCE_BATCHES_QUARANTINED).inc()
+        log.error(
+            "shard %d: batch of %d flows killed its worker %d time(s); "
+            "quarantining — classifying in the coordinator process",
+            shard, len(flows), self.batch_attempts,
+        )
+        return self._classify_fallback(shard, flows, min_flows)
+
+    # -- observability --------------------------------------------------
+    def snapshots(self) -> list[dict]:
+        """Per-shard snapshots: worker registry merged with fallback work.
+
+        Deadline-bounded like everything else; a shard that cannot
+        answer contributes its coordinator-side fallback registry only
+        (worker counters restart from zero with the worker, so shard
+        series are lower bounds under faults — see docs/METRICS.md).
+        """
+        out = []
+        for shard in range(self.n_shards):
+            fallback = obs.snapshot(self._fallback_registries[shard])
+            proc = self._procs[shard]
+            if self._degraded[shard] or proc is None or not proc.is_alive():
+                out.append(fallback)
+                continue
+            conn = self._conns[shard]
+            try:
+                conn.send(("snapshot",))
+                if not conn.poll(self.shard_timeout):
+                    obs.counter(names.C_RESILIENCE_DEADLINE_MISSES).inc()
+                    # The pipe now holds a stale reply; the worker cannot
+                    # be trusted to stay in protocol sync. Reap it — the
+                    # next classify restarts it under the usual budget.
+                    self._reap(shard)
+                    out.append(fallback)
+                    continue
+                out.append(obs.merge_snapshots([conn.recv(), fallback]))
+            except _PIPE_ERRORS:
+                self._reap(shard)
+                out.append(fallback)
+        return out
+
+    @property
+    def degraded_shards(self) -> tuple[int, ...]:
+        """Indices of shards running in degraded (serial) mode."""
+        return tuple(i for i, d in enumerate(self._degraded) if d)

@@ -118,6 +118,20 @@ class ShardableEngine(abc.ABC):
     def warm_start(self, scrubber: IXPScrubber) -> "ShardableEngine":
         """Deploy a pre-fitted scrubber as the current model."""
 
+    def close(self) -> None:
+        """Release execution resources (idempotent).
+
+        No-op for in-process engines; the sharded coordinator overrides
+        it to stop its worker processes. Part of the interface so
+        drivers can manage any engine with the same ``with`` block.
+        """
+
+    def __enter__(self) -> "ShardableEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 class StreamingScrubber(ShardableEngine):
     """Continuously learning, per-bin detecting scrubber."""

@@ -43,6 +43,11 @@ C_PARALLEL_FLOWS_DISPATCHED = "parallel.flows_dispatched"
 C_PARALLEL_SHARD_FLOWS = "parallel.shard_flows"
 C_PARALLEL_MODEL_BROADCASTS = "parallel.model_broadcasts"
 C_PARALLEL_EQUIVALENCE_CHECKS = "parallel.equivalence_checks"
+C_RESILIENCE_WORKER_RESTARTS = "resilience.worker_restarts"
+C_RESILIENCE_BATCH_RETRIES = "resilience.batch_retries"
+C_RESILIENCE_BATCHES_QUARANTINED = "resilience.batches_quarantined"
+C_RESILIENCE_DEADLINE_MISSES = "resilience.deadline_misses"
+C_RESILIENCE_FAULTS_INJECTED = "resilience.faults_injected"
 
 # -- gauges ------------------------------------------------------------
 G_STREAMING_TRAINING_FLOWS = "streaming.training_flows"
@@ -51,6 +56,7 @@ G_STREAMING_PENDING_LABEL_BINS = "streaming.pending_label_bins"
 G_STREAMING_DAY_BUFFERS = "streaming.day_buffers"
 G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
 G_PARALLEL_SHARDS = "parallel.shards"
+G_RESILIENCE_DEGRADED_SHARDS = "resilience.degraded_shards"
 
 # -- spans (histograms of seconds) -------------------------------------
 SPAN_STREAMING_INGEST = "streaming.ingest"
@@ -70,6 +76,7 @@ SPAN_IXP_SAMPLE = "ixp.sample"
 SPAN_PARALLEL_CLASSIFY = "parallel.classify"
 SPAN_PARALLEL_SHARD_CLASSIFY = "parallel.shard_classify"
 SPAN_PARALLEL_MERGE = "parallel.merge"
+SPAN_RESILIENCE_RESTART = "resilience.restart_worker"
 SPAN_DRIFT_ONE_SHOT = "drift.one_shot"
 SPAN_DRIFT_SLIDING_WINDOW = "drift.sliding_window"
 SPAN_DRIFT_TRANSFER = "drift.transfer"

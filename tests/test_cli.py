@@ -29,7 +29,11 @@ def test_unknown_experiment_exits_2(capsys):
 @pytest.mark.parametrize("bad", [["nope"], ["stats", "--days", "0"],
                                  ["stream", "--shards", "0"],
                                  ["stream", "--backend", "thread"],
-                                 ["stats", "--format", "xml"]])
+                                 ["stats", "--format", "xml"],
+                                 ["stream", "--faults", "explode@0"],
+                                 ["stream", "--faults", "crash@x"],
+                                 ["stream", "--shard-timeout", "0"],
+                                 ["stream", "--max-restarts", "-1"]])
 def test_invalid_arguments_exit_2(bad, capsys):
     with pytest.raises(SystemExit) as exc:
         main(bad)
@@ -97,3 +101,85 @@ class TestStream:
         for line in out.strip().splitlines():
             if not line.startswith("#"):
                 assert len(line.rsplit(" ", 1)) == 2
+
+    def test_serial_backend_rejects_supervision_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--days", "1", "--faults", "crash@0"])
+        assert exc.value.code == 2
+        assert "--backend process or supervised" in capsys.readouterr().err
+
+    def test_faults_upgrade_process_to_supervised_chaos_run(self, capsys):
+        """The acceptance scenario: seeded crash per epoch, zero drift.
+
+        ``--check`` runs the serial equivalence shadow on every chunk,
+        so a clean exit *is* the bit-identical-verdicts assertion.
+        """
+        assert main(
+            ["stream", "--days", "1", "--shards", "2", "--backend", "process",
+             "--check", "--shard-timeout", "60",
+             "--faults", "crash@0:batch=0:scope=epoch"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "upgrading process backend to supervised" in captured.err
+        assert "supervised shard(s)" in captured.out
+        assert "equivalence checked" in captured.out
+        assert "resilience:" in captured.out
+        # The plan fired at least once (first batch of the first epoch).
+        restarts = [
+            line for line in captured.out.splitlines()
+            if "resilience.worker_restarts" in line
+        ]
+        assert restarts, "supervised run printed no restart counter"
+
+
+class TestStreamBackendResolution:
+    """Unit tests for the flag/env -> backend mapping (no workers spawned)."""
+
+    def _args(self, **overrides):
+        import argparse
+
+        defaults = dict(backend="serial", faults=None,
+                        shard_timeout=None, max_restarts=None)
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_plain_backends_pass_through(self, monkeypatch):
+        from repro.cli import _resolve_stream_backend
+        from repro.core.resilience import FAULTS_ENV
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert _resolve_stream_backend(self._args()) == ("serial", {})
+        assert _resolve_stream_backend(
+            self._args(backend="process")
+        ) == ("process", {})
+
+    def test_env_plan_upgrades_process(self, monkeypatch, capsys):
+        from repro.cli import _resolve_stream_backend
+        from repro.core.resilience import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "crash@0:batch=1")
+        backend, options = _resolve_stream_backend(self._args(backend="process"))
+        assert backend == "supervised"
+        assert options["fault_plan"]
+        assert "upgrading process backend to supervised" in capsys.readouterr().err
+
+    def test_env_plan_is_ignored_on_serial(self, monkeypatch):
+        # CI exports REPRO_FAULTS globally; a serial run has no workers
+        # to supervise and must not fail because of it.
+        from repro.cli import _resolve_stream_backend
+        from repro.core.resilience import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "crash@0")
+        assert _resolve_stream_backend(self._args()) == ("serial", {})
+
+    def test_supervision_knobs_forwarded(self, monkeypatch):
+        from repro.cli import _resolve_stream_backend
+        from repro.core.resilience import FAULTS_ENV
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        backend, options = _resolve_stream_backend(
+            self._args(backend="supervised", shard_timeout=5.0, max_restarts=1)
+        )
+        assert backend == "supervised"
+        assert options["shard_timeout"] == 5.0 and options["max_restarts"] == 1
+        assert not options["fault_plan"]

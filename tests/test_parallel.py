@@ -102,7 +102,7 @@ class TestShardPlan:
 
 class TestBackends:
     def test_make_backend_names_and_unknown(self):
-        assert set(BACKENDS) == {"serial", "process"}
+        assert set(BACKENDS) == {"serial", "process", "supervised"}
         assert isinstance(make_backend("serial", 2), SerialBackend)
         with pytest.raises(ValueError, match="thread"):
             make_backend("thread", 2)
