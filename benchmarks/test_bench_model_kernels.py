@@ -1,0 +1,180 @@
+"""Recursive-vs-compiled model kernel benchmarks (BENCH_models.json).
+
+Not a paper artifact — these guard the flat-array tree kernels against
+performance regressions. Each benchmark times the pre-kernel recursive
+implementation against the compiled path on the same workload, asserts
+bit-identical predictions, and records the result in ``BENCH_models.json``
+at the repo root (schema: op -> {n, seconds, speedup}) so future PRs have
+a perf trajectory to compare against.
+
+The CI guard thresholds are deliberately conservative (shared runners are
+noisy); override with ``BENCH_MODELS_MIN_SPEEDUP`` / ``BENCH_DATASET_MIN_SPEEDUP``.
+
+Run:  pytest benchmarks/test_bench_model_kernels.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.models.boosting import GradientBoostedTrees
+from repro.core.models.kernels import reference_forest_margin
+from repro.netflow.dataset import SCHEMA, FlowDataset
+from repro.netflow.record import FlowRecord
+
+BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_models.json"
+
+#: Boosting workload: large enough that histogram reuse and blocked
+#: propagation dominate, small enough for a CI smoke job.
+N_ROWS = 50_000
+N_FEATURES = 60
+N_TREES = 40
+MAX_DEPTH = 6
+
+N_RECORDS = 200_000
+
+
+def _median_seconds(fn, repeats: int = 3):
+    """Median wall-clock of ``repeats`` runs, plus the last result."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), result
+
+
+def _record(op: str, n: int, seconds: float, speedup: float) -> None:
+    """Merge one measurement into BENCH_models.json."""
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    data[op] = {
+        "n": int(n),
+        "seconds": round(float(seconds), 4),
+        "speedup": round(float(speedup), 2),
+    }
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(N_ROWS, N_FEATURES))
+    # Non-trivial decision surface so trees grow to full depth.
+    margin = X[:, 0] + 0.5 * X[:, 1] * X[:, 2] - 0.8 * (X[:, 3] > 0.5)
+    y = (margin + rng.normal(scale=0.5, size=N_ROWS) > 0).astype(np.float64)
+    return X, y
+
+
+def _model() -> GradientBoostedTrees:
+    return GradientBoostedTrees(
+        n_estimators=N_TREES, max_depth=MAX_DEPTH, learning_rate=0.1
+    )
+
+
+def test_bench_gbt_fit_and_predict(workload):
+    X, y = workload
+
+    ref_fit_s, ref_model = _median_seconds(lambda: _model().fit_reference(X, y))
+    fit_s, model = _median_seconds(lambda: _model().fit(X, y))
+
+    trees = model.trees_
+    ref_pred_s, ref_margin = _median_seconds(
+        lambda: reference_forest_margin(
+            trees, model.base_score_, model.learning_rate, X
+        )
+    )
+    pred_s, kernel_margin = _median_seconds(lambda: model.decision_function(X))
+
+    # The compiled kernel must be a pure perf change: bit-identical margins.
+    assert np.array_equal(kernel_margin, ref_margin)
+    assert np.array_equal(
+        ref_model.decision_function(X),
+        reference_forest_margin(
+            ref_model.trees_, ref_model.base_score_, ref_model.learning_rate, X
+        ),
+    )
+
+    fit_speedup = ref_fit_s / fit_s
+    pred_speedup = ref_pred_s / pred_s
+    combined = (ref_fit_s + ref_pred_s) / (fit_s + pred_s)
+    _record("gbt_fit", N_ROWS, fit_s, fit_speedup)
+    _record("gbt_predict", N_ROWS, pred_s, pred_speedup)
+    _record("gbt_fit_predict", N_ROWS, fit_s + pred_s, combined)
+
+    floor = float(os.environ.get("BENCH_MODELS_MIN_SPEEDUP", "2.5"))
+    assert combined >= floor, (
+        f"compiled fit+predict speedup {combined:.2f}x below guard {floor}x "
+        f"(fit {fit_speedup:.2f}x, predict {pred_speedup:.2f}x)"
+    )
+
+
+def _from_records_append_loop(records) -> FlowDataset:
+    """Pre-kernel ``from_records``: per-column Python append loop."""
+    lists: dict[str, list] = {name: [] for name in SCHEMA}
+    for r in records:
+        lists["time"].append(r.time)
+        lists["src_ip"].append(r.src_ip)
+        lists["dst_ip"].append(r.dst_ip)
+        lists["src_port"].append(r.src_port)
+        lists["dst_port"].append(r.dst_port)
+        lists["protocol"].append(r.protocol)
+        lists["packets"].append(r.packets)
+        lists["bytes"].append(r.bytes_)
+        lists["src_mac"].append(r.src_mac)
+        lists["blackhole"].append(r.blackhole)
+    return FlowDataset(
+        {name: np.array(values, dtype=SCHEMA[name]) for name, values in lists.items()}
+    )
+
+
+def test_bench_dataset_from_records():
+    rng = np.random.default_rng(11)
+    records = [
+        FlowRecord(
+            time=int(t),
+            src_ip=int(s),
+            dst_ip=int(d),
+            src_port=int(sp),
+            dst_port=int(dp),
+            protocol=int(p),
+            packets=int(pk),
+            bytes_=int(b),
+            src_mac=int(m),
+            blackhole=bool(bh),
+        )
+        for t, s, d, sp, dp, p, pk, b, m, bh in zip(
+            rng.integers(0, 86_400, N_RECORDS),
+            rng.integers(0, 2**32, N_RECORDS),
+            rng.integers(0, 2**32, N_RECORDS),
+            rng.integers(0, 2**16, N_RECORDS),
+            rng.integers(0, 2**16, N_RECORDS),
+            rng.integers(0, 256, N_RECORDS),
+            rng.integers(1, 1000, N_RECORDS),
+            rng.integers(40, 1_500_000, N_RECORDS),
+            rng.integers(0, 2**48, N_RECORDS),
+            rng.integers(0, 2, N_RECORDS),
+        )
+    ]
+
+    loop_s, loop_ds = _median_seconds(lambda: _from_records_append_loop(records))
+    fromiter_s, fast_ds = _median_seconds(lambda: FlowDataset.from_records(records))
+
+    for name in SCHEMA:
+        assert np.array_equal(loop_ds.column(name), fast_ds.column(name))
+
+    speedup = loop_s / fromiter_s
+    _record("dataset_from_records", N_RECORDS, fromiter_s, speedup)
+
+    floor = float(os.environ.get("BENCH_DATASET_MIN_SPEEDUP", "1.0"))
+    assert speedup >= floor, (
+        f"from_records speedup {speedup:.2f}x below guard {floor}x"
+    )

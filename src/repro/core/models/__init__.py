@@ -10,6 +10,13 @@ from repro.core.models.bayes import (
 )
 from repro.core.models.binning import QuantileBinner
 from repro.core.models.boosting import GradientBoostedTrees
+from repro.core.models.kernels import (
+    ForestKernel,
+    HistogramScratch,
+    TreeKernel,
+    reference_cart_values,
+    reference_forest_margin,
+)
 from repro.core.models.linear import LinearSVM
 from repro.core.models.metrics import (
     DEFAULT_BETA,
@@ -44,9 +51,11 @@ __all__ = [
     "DEFAULT_BETA",
     "DecisionTree",
     "DummyClassifier",
+    "ForestKernel",
     "GaussianNB",
     "GradientBoostedTrees",
     "GridSearchResult",
+    "HistogramScratch",
     "LinearSVM",
     "ModelPipeline",
     "ModelScore",
@@ -57,7 +66,10 @@ __all__ = [
     "RuleBasedClassifier",
     "TABLE3_MODELS",
     "TABLE5_MODELS",
+    "TreeKernel",
     "check_fit_inputs",
+    "reference_cart_values",
+    "reference_forest_margin",
     "f1_score",
     "fbeta_score",
     "grid_search",

@@ -1,0 +1,556 @@
+"""Flat-array tree kernels: compiled forest inference and histogram growing.
+
+Fitted trees in this repository used to live as Python object graphs
+(``_Node`` / ``_BoostNode``) walked node-by-node with recursive
+``_apply`` calls — O(nodes) Python frames per batch. This module is the
+struct-of-arrays replacement, the layout histogram GBDT implementations
+(XGBoost [23], LightGBM) use for speed:
+
+* :class:`TreeKernel` — one tree as parallel arrays ``feature[]``,
+  ``threshold[]``/``split_bin[]``, ``left[]``, ``right[]``, ``value[]``
+  (plus ``n[]``/``impurity[]`` for CART trees, so the node graph is
+  fully reconstructible). Prediction is iterative node-index
+  propagation: O(depth) vectorised numpy ops per batch, no recursion.
+* :class:`ForestKernel` — an ensemble as the same arrays stacked with a
+  per-tree ``offsets`` table. Stacking renumbers every tree level-order
+  so each split's children are adjacent (``right == left + 1``) and
+  makes leaves self-loop with a ``+inf`` routing threshold; propagation
+  then needs no masking and no ``right`` gather — a fixed ``max_depth``
+  iterations of ``node = left[node] + (x > threshold[node])`` settle
+  every sample in every tree simultaneously through one
+  (samples × trees) node-state matrix, processed in row blocks sized to
+  stay cache-resident. The margin is accumulated tree-by-tree in
+  ensemble order afterwards, so results stay bit-identical to the
+  sequential recursive reference.
+* :class:`HistogramScratch` — the shared histogram machinery of the
+  training hot paths: per-(node, feature, bin) histograms from the
+  *transposed* bin-code matrix (one contiguous ``bincount`` per
+  feature, accumulating rows in ascending order exactly like the
+  original per-node scan), staged once per fit and reused across every
+  node, level and boosting round. Sibling histograms are derived by
+  subtraction (``child = parent − other child``), so only the smaller
+  child of every split is ever scanned.
+* :func:`reference_cart_values` / :func:`reference_forest_margin` — the
+  recursive traversals kept as the *verification oracle*: the property
+  suite asserts the compiled kernels reproduce them bit-for-bit, and
+  the model-kernel benchmark uses them as the pre-compilation baseline.
+
+Compiled kernels are also the wire format: pickling a fitted tree model
+ships these compact arrays (a few contiguous numpy buffers) instead of
+thousands of node objects, which is what the sharded engine's model
+re-broadcast sends to workers, and what ``persistence.py`` serialises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.models.boosting import _BoostNode
+    from repro.core.models.tree import _Node
+
+__all__ = [
+    "TreeKernel",
+    "ForestKernel",
+    "HistogramScratch",
+    "reference_cart_values",
+    "reference_forest_margin",
+]
+
+#: Sentinel in ``feature[]`` / ``split_bin[]`` marking a leaf node.
+LEAF = -1
+
+#: Rows per propagation block: temporaries stay ~MBs so the node-state
+#: matrix and gather targets remain cache-resident.
+_BLOCK_ROWS = 4096
+
+
+# ----------------------------------------------------------------------
+# Flat tree / forest containers
+# ----------------------------------------------------------------------
+@dataclass
+class TreeKernel:
+    """One decision tree as parallel flat arrays (node 0 is the root).
+
+    ``feature[i] == LEAF`` marks node *i* as a leaf; ``value[i]`` is its
+    output (P(y=1) for CART, the additive leaf weight for boosting).
+    Internal nodes route ``x[feature] <= threshold`` to ``left`` and the
+    rest to ``right``; ``split_bin`` carries the equivalent binned-code
+    threshold (``bin <= split_bin``) when the tree was grown on binned
+    data, or ``LEAF`` when unknown (e.g. compiled from a node graph).
+    Children always carry larger indices than their parent.
+    """
+
+    feature: np.ndarray  # int32, LEAF for leaves
+    threshold: np.ndarray  # float64 raw-value threshold
+    split_bin: np.ndarray  # int32 binned-code threshold, LEAF if unknown
+    left: np.ndarray  # int32 child index, LEAF for leaves
+    right: np.ndarray  # int32 child index, LEAF for leaves
+    value: np.ndarray  # float64 node output
+    #: CART bookkeeping (None for boosting trees): per-node sample count
+    #: and gini impurity, enough to rebuild the full ``_Node`` graph.
+    n: Optional[np.ndarray] = None
+    impurity: Optional[np.ndarray] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int((self.feature == LEAF).sum())
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int32)
+        internal = np.flatnonzero(self.feature != LEAF)
+        # Children always carry larger indices than their parent, so one
+        # ascending pass settles every node's depth.
+        for i in internal:
+            depth[self.left[i]] = depth[i] + 1
+            depth[self.right[i]] = depth[i] + 1
+        return int(depth.max()) if self.n_nodes else 0
+
+    # ------------------------------------------------------------------
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf value per row of ``X`` via iterative index propagation."""
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        # Same leaf trick as the forest path: +inf thresholds make every
+        # leaf comparison False, and a self-loop keeps the index put.
+        thr = np.where(self.feature == LEAF, np.inf, self.threshold)
+        own = np.arange(self.n_nodes, dtype=np.int32)
+        is_leaf = self.feature == LEAF
+        left = np.where(is_leaf, own, self.left).astype(np.int32)
+        step = np.where(is_leaf, own, self.right).astype(np.int32) - left
+        Xf = X.ravel()
+        n_features = X.shape[1]
+        value = self.value
+        depth = self.max_depth()
+        out = np.empty(n, dtype=np.float64)
+        for lo in range(0, n, _BLOCK_ROWS):
+            hi = min(n, lo + _BLOCK_ROWS)
+            node = np.zeros(hi - lo, dtype=np.int32)
+            base = np.arange(lo, hi, dtype=np.int64) * n_features
+            for _ in range(depth):
+                feat = self.feature.take(node)
+                xv = Xf.take(base + feat)
+                node = left.take(node) + step.take(node) * (xv > thr.take(node))
+            out[lo:hi] = value.take(node)
+        return out
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cart_root(cls, root: "_Node") -> "TreeKernel":
+        """Flatten a fitted CART node graph (preorder numbering)."""
+        feature, threshold, split_bin = [], [], []
+        left, right, value, n, impurity = [], [], [], [], []
+
+        def visit(node: "_Node") -> int:
+            idx = len(feature)
+            is_leaf = node.is_leaf
+            feature.append(LEAF if is_leaf else int(node.feature))
+            threshold.append(0.0 if is_leaf else float(node.threshold))
+            split_bin.append(LEAF)
+            left.append(LEAF)
+            right.append(LEAF)
+            value.append(float(node.value))
+            n.append(int(node.n))
+            impurity.append(float(node.impurity))
+            if not is_leaf:
+                left[idx] = visit(node.left)
+                right[idx] = visit(node.right)
+            return idx
+
+        visit(root)
+        return cls(
+            feature=np.asarray(feature, dtype=np.int32),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            split_bin=np.asarray(split_bin, dtype=np.int32),
+            left=np.asarray(left, dtype=np.int32),
+            right=np.asarray(right, dtype=np.int32),
+            value=np.asarray(value, dtype=np.float64),
+            n=np.asarray(n, dtype=np.int64),
+            impurity=np.asarray(impurity, dtype=np.float64),
+        )
+
+    def to_cart_nodes(self) -> "_Node":
+        """Rebuild the ``_Node`` graph (for pruning walks and tooling)."""
+        from repro.core.models.tree import _Node
+
+        if self.n is None or self.impurity is None:
+            raise ValueError("kernel carries no CART node statistics")
+
+        def build(idx: int) -> "_Node":
+            node = _Node(
+                n=int(self.n[idx]),
+                value=float(self.value[idx]),
+                impurity=float(self.impurity[idx]),
+            )
+            if self.feature[idx] != LEAF:
+                node.feature = int(self.feature[idx])
+                node.threshold = float(self.threshold[idx])
+                node.left = build(int(self.left[idx]))
+                node.right = build(int(self.right[idx]))
+            return node
+
+        return build(0)
+
+    @classmethod
+    def from_boost_node(cls, root: "_BoostNode") -> "TreeKernel":
+        """Flatten one boosting tree's node graph."""
+        feature, threshold, split_bin = [], [], []
+        left, right, value = [], [], []
+
+        def visit(node: "_BoostNode") -> int:
+            idx = len(feature)
+            is_leaf = node.is_leaf
+            feature.append(LEAF if is_leaf else int(node.feature))
+            threshold.append(0.0 if is_leaf else float(node.threshold))
+            split_bin.append(LEAF)
+            left.append(LEAF)
+            right.append(LEAF)
+            value.append(float(node.weight))
+            if not is_leaf:
+                left[idx] = visit(node.left)
+                right[idx] = visit(node.right)
+            return idx
+
+        visit(root)
+        return cls(
+            feature=np.asarray(feature, dtype=np.int32),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            split_bin=np.asarray(split_bin, dtype=np.int32),
+            left=np.asarray(left, dtype=np.int32),
+            right=np.asarray(right, dtype=np.int32),
+            value=np.asarray(value, dtype=np.float64),
+        )
+
+    def to_boost_node(self) -> "_BoostNode":
+        """Rebuild the ``_BoostNode`` graph of one boosting tree."""
+        from repro.core.models.boosting import _BoostNode
+
+        def build(idx: int) -> "_BoostNode":
+            node = _BoostNode(weight=float(self.value[idx]))
+            if self.feature[idx] != LEAF:
+                node.feature = int(self.feature[idx])
+                node.threshold = float(self.threshold[idx])
+                node.left = build(int(self.left[idx]))
+                node.right = build(int(self.right[idx]))
+            return node
+
+        return build(0)
+
+    def level_order(self) -> "TreeKernel":
+        """Renumber nodes breadth-first so split children are adjacent.
+
+        Level order guarantees ``right == left + 1`` for every internal
+        node, the invariant the forest propagation's branchless
+        ``left[node] + (x > threshold)`` step relies on.
+        """
+        n = self.n_nodes
+        order = np.empty(n, dtype=np.int64)  # order[new] = old
+        order[0] = 0
+        tail = 1
+        for head in range(n):
+            old = int(order[head])
+            if self.feature[old] != LEAF:
+                order[tail] = self.left[old]
+                order[tail + 1] = self.right[old]
+                tail += 2
+        pos = np.empty(n, dtype=np.int64)  # pos[old] = new
+        pos[order] = np.arange(n)
+        feature = self.feature[order]
+        is_leaf = feature == LEAF
+        return TreeKernel(
+            feature=feature,
+            threshold=self.threshold[order],
+            split_bin=self.split_bin[order],
+            left=np.where(is_leaf, LEAF, pos[self.left[order]]).astype(np.int32),
+            right=np.where(is_leaf, LEAF, pos[self.right[order]]).astype(np.int32),
+            value=self.value[order],
+            n=None if self.n is None else self.n[order],
+            impurity=None if self.impurity is None else self.impurity[order],
+        )
+
+
+@dataclass
+class ForestKernel:
+    """A tree ensemble as stacked flat arrays plus per-tree offsets.
+
+    ``offsets`` has ``n_trees + 1`` entries; tree *t* owns global node
+    indices ``offsets[t]:offsets[t + 1]`` and its root is node
+    ``offsets[t]``. Child indices in ``left``/``right`` are global, so
+    propagation needs no per-tree re-basing. Invariants established by
+    :meth:`from_trees` (and expected of any hand-built instance): trees
+    are numbered level-order with ``right == left + 1`` at every split,
+    and leaves self-loop (``left == right == own index``).
+    """
+
+    feature: np.ndarray  # int32, LEAF for leaves
+    threshold: np.ndarray  # float64
+    split_bin: np.ndarray  # int32
+    left: np.ndarray  # int32, global node index; leaves self-loop
+    right: np.ndarray  # int32, global node index; leaves self-loop
+    value: np.ndarray  # float64
+    offsets: np.ndarray  # int64, shape (n_trees + 1,)
+    _depth: Optional[int] = field(default=None, repr=False, compare=False)
+    _route: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    @property
+    def n_trees(self) -> int:
+        return int(self.offsets.shape[0]) - 1
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf across all trees (cached)."""
+        if self._depth is None:
+            depth = np.zeros(self.n_nodes, dtype=np.int32)
+            # Children always carry larger global indices than their
+            # parent, so one ascending pass settles every node.
+            for i in np.flatnonzero(self.feature != LEAF):
+                depth[self.left[i]] = depth[i] + 1
+                depth[self.right[i]] = depth[i] + 1
+            self._depth = int(depth.max()) if self.n_nodes else 0
+        return self._depth
+
+    def tree(self, index: int) -> TreeKernel:
+        """Re-based copy of one tree (self-loops back to LEAF sentinels)."""
+        lo, hi = int(self.offsets[index]), int(self.offsets[index + 1])
+        is_leaf = self.feature[lo:hi] == LEAF
+        return TreeKernel(
+            feature=self.feature[lo:hi].copy(),
+            threshold=self.threshold[lo:hi].copy(),
+            split_bin=self.split_bin[lo:hi].copy(),
+            left=np.where(is_leaf, LEAF, self.left[lo:hi] - lo).astype(np.int32),
+            right=np.where(is_leaf, LEAF, self.right[lo:hi] - lo).astype(np.int32),
+            value=self.value[lo:hi].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trees(cls, trees: Sequence[TreeKernel]) -> "ForestKernel":
+        """Stack per-tree kernels into the propagation-ready layout."""
+        trees = [t.level_order() for t in trees]
+        offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+        for t, tree in enumerate(trees):
+            offsets[t + 1] = offsets[t] + tree.n_nodes
+
+        def stacked(parts, dtype):
+            if not parts:
+                return np.zeros(0, dtype=dtype)
+            return np.ascontiguousarray(np.concatenate(parts), dtype=dtype)
+
+        # Leaves self-loop in the stacked layout so propagation can run
+        # unconditionally for max_depth iterations with no masking.
+        left_parts, right_parts = [], []
+        for i, t in enumerate(trees):
+            own = np.arange(t.n_nodes, dtype=np.int64)
+            is_leaf = t.feature == LEAF
+            left_parts.append(np.where(is_leaf, own, t.left) + offsets[i])
+            right_parts.append(np.where(is_leaf, own, t.right) + offsets[i])
+        return cls(
+            feature=stacked([t.feature for t in trees], np.int32),
+            threshold=stacked([t.threshold for t in trees], np.float64),
+            split_bin=stacked([t.split_bin for t in trees], np.int32),
+            left=stacked(left_parts, np.int32),
+            right=stacked(right_parts, np.int32),
+            value=stacked([t.value for t in trees], np.float64),
+            offsets=offsets,
+        )
+
+    @classmethod
+    def from_boost_nodes(cls, roots: Sequence["_BoostNode"]) -> "ForestKernel":
+        return cls.from_trees([TreeKernel.from_boost_node(r) for r in roots])
+
+    def to_boost_nodes(self) -> list["_BoostNode"]:
+        return [self.tree(t).to_boost_node() for t in range(self.n_trees)]
+
+    # ------------------------------------------------------------------
+    def _routing(self) -> tuple:
+        """Cached (threshold-with-inf-leaves, roots) propagation tables.
+
+        Leaves get a ``+inf`` routing threshold: their comparison is
+        always False, and with the self-loop child the node index stays
+        put — so the step needs neither masking nor a ``right`` gather
+        (``right == left + 1`` at every split).
+        """
+        if self._route is None:
+            thr = np.where(self.feature == LEAF, np.inf, self.threshold)
+            # int64 copies of the int32 structure arrays: ``take`` casts
+            # index arrays to the platform int anyway, so propagating in
+            # int64 skips one cast per gather per level.
+            feature = self.feature.astype(np.int64)
+            left = self.left.astype(np.int64)
+            roots = self.offsets[:-1].copy()
+            self._route = (thr, feature, left, roots)
+        return self._route
+
+    def leaf_values(self, X: np.ndarray) -> np.ndarray:
+        """(n_samples, n_trees) leaf outputs via simultaneous propagation.
+
+        All trees advance one level per iteration through a shared
+        (samples × trees) node-state matrix — O(max_depth) numpy ops for
+        the whole ensemble instead of O(nodes) Python calls.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        out = np.empty((n, self.n_trees), dtype=np.float64)
+        for lo in range(0, n, _BLOCK_ROWS):
+            hi = min(n, lo + _BLOCK_ROWS)
+            out[lo:hi] = self.value.take(self._propagate(X, lo, hi))
+        return out
+
+    def _propagate(self, X: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Final (rows, trees) node indices for one row block."""
+        thr, feature, left, roots = self._routing()
+        node = np.broadcast_to(roots, (hi - lo, self.n_trees)).copy()
+        Xf = X.ravel()
+        base = (np.arange(lo, hi, dtype=np.int64) * X.shape[1])[:, None]
+        for _ in range(self.max_depth()):
+            feat = feature.take(node)
+            # Leaves carry feature -1: a valid (last-column) gather whose
+            # result is discarded by the always-False +inf comparison.
+            xv = Xf.take(base + feat)
+            node = left.take(node) + (xv > thr.take(node))
+        return node
+
+    def margin(
+        self, X: np.ndarray, base_score: float, learning_rate: float
+    ) -> np.ndarray:
+        """Raw ensemble margin, bit-identical to the recursive reference.
+
+        Per-tree leaf values come from the blocked propagation; the
+        shrinkage accumulation then runs tree-by-tree in ensemble order,
+        exactly like ``margin += lr * tree_output(t)`` over recursive
+        traversals, so no floating-point reassociation can creep in.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        margin = np.full(n, base_score, dtype=np.float64)
+        if self.n_trees == 0 or n == 0:
+            return margin
+        for lo in range(0, n, _BLOCK_ROWS):
+            hi = min(n, lo + _BLOCK_ROWS)
+            values = self.value.take(self._propagate(X, lo, hi))
+            acc = margin[lo:hi]
+            for t in range(self.n_trees):
+                acc += learning_rate * values[:, t]
+        return margin
+
+
+# ----------------------------------------------------------------------
+# Histogram machinery for the training hot paths
+# ----------------------------------------------------------------------
+class HistogramScratch:
+    """Per-(node, feature, bin) histograms from transposed bin codes.
+
+    Staged once per fit: the (features × samples) transpose of the bin
+    code matrix, so each feature's codes are contiguous and one
+    ``bincount`` per feature builds its histogram — row subsets arrive
+    as ``take`` gathers, weights are gathered once per call instead of
+    being broadcast per feature. Multiple tree nodes are histogrammed
+    together by folding a per-row node slot into the bincount key
+    (``slot * n_bins + code``). Accumulation order per (feature, bin)
+    cell is ascending row order — the same order as a per-node
+    ``bincount`` scan, keeping every histogram bit-identical to the
+    original per-feature implementation.
+    """
+
+    def __init__(self, binned: np.ndarray, max_bins: int):
+        self.codes_t = np.ascontiguousarray(binned.T)
+        self.n_features = binned.shape[1]
+        self.max_bins = max_bins
+        n = binned.shape[0]
+        # Reusable per-call buffers: gathered codes and slotted keys.
+        self._codes_buf = np.empty(n, dtype=self.codes_t.dtype)
+        self._key_buf = np.empty(n, dtype=np.int64)
+
+    def pair(
+        self,
+        rows: Optional[np.ndarray],
+        first: Optional[np.ndarray],
+        second: np.ndarray,
+        slots: Optional[np.ndarray] = None,
+        n_slots: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Two (n_slots, F, B) histograms over one row subset.
+
+        Both training hot paths need a pair per node — (count, positive)
+        for CART, (gradient, hessian) for boosting. ``rows=None`` means
+        all samples; ``first``/``second`` are weight vectors already
+        aligned with ``rows`` (``first=None`` counts samples instead);
+        ``slots`` assigns each row to one of ``n_slots`` nodes.
+        """
+        F, B = self.n_features, self.max_bins
+        size = n_slots * B
+        h1 = np.empty((n_slots, F, B), dtype=np.float64)
+        h2 = np.empty((n_slots, F, B), dtype=np.float64)
+        base = None if slots is None else slots.astype(np.int64) * B
+        m = self.codes_t.shape[1] if rows is None else rows.shape[0]
+        codes_buf = self._codes_buf[:m]
+        key_buf = self._key_buf[:m]
+        for j in range(F):
+            if rows is None:
+                codes = self.codes_t[j]
+            else:
+                codes = self.codes_t[j].take(rows, out=codes_buf)
+            key = codes if base is None else np.add(base, codes, out=key_buf)
+            if first is None:
+                h1[:, j, :] = (
+                    np.bincount(key, minlength=size).astype(np.float64).reshape(n_slots, B)
+                )
+            else:
+                h1[:, j, :] = np.bincount(key, weights=first, minlength=size).reshape(
+                    n_slots, B
+                )
+            h2[:, j, :] = np.bincount(key, weights=second, minlength=size).reshape(
+                n_slots, B
+            )
+        return h1, h2
+
+
+# ----------------------------------------------------------------------
+# Recursive reference traversals (verification oracle + benchmarks)
+# ----------------------------------------------------------------------
+def _apply_recursive(node, X, index, out, leaf_attr: str) -> None:
+    if index.shape[0] == 0:
+        return
+    if node.is_leaf:
+        out[index] = getattr(node, leaf_attr)
+        return
+    go_left = X[index, node.feature] <= node.threshold
+    _apply_recursive(node.left, X, index[go_left], out, leaf_attr)
+    _apply_recursive(node.right, X, index[~go_left], out, leaf_attr)
+
+
+def reference_cart_values(root: "_Node", X: np.ndarray) -> np.ndarray:
+    """Pre-kernel recursive CART traversal (the verification oracle)."""
+    X = np.asarray(X, dtype=np.float64)
+    out = np.empty(X.shape[0], dtype=np.float64)
+    _apply_recursive(root, X, np.arange(X.shape[0]), out, "value")
+    return out
+
+
+def reference_forest_margin(
+    trees: Sequence["_BoostNode"],
+    base_score: float,
+    learning_rate: float,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Pre-kernel recursive boosting margin (the verification oracle)."""
+    X = np.asarray(X, dtype=np.float64)
+    margin = np.full(X.shape[0], base_score, dtype=np.float64)
+    for tree in trees:
+        out = np.empty(X.shape[0], dtype=np.float64)
+        _apply_recursive(tree, X, np.arange(X.shape[0]), out, "weight")
+        margin += learning_rate * out
+    return margin

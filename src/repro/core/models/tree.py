@@ -3,6 +3,18 @@
 Supports the hyperparameters of the paper's grid (Appendix C, Table 4):
 ``ccp_alpha`` (minimal cost-complexity pruning), ``min_impurity_decrease``,
 ``min_samples_leaf`` and ``min_samples_split``, plus ``max_depth``.
+
+The trainer builds per-(feature, bin) count/positive histograms with one
+combined-key ``bincount`` per node and searches every feature's split in
+a single vectorised pass; at each split only the smaller child is
+re-scanned, the sibling's histograms being the parent's minus the small
+child's — exact for CART, whose histograms hold integer counts, so the
+fitted tree is bit-identical to the original per-feature scan. The
+fitted tree is compiled to a flat-array
+:class:`~repro.core.models.kernels.TreeKernel`, which handles all
+prediction (iterative node-index propagation) and is the only state
+that pickling ships — the ``_Node`` graph is a derived view, rebuilt on
+demand for pruning walks and tooling.
 """
 
 from __future__ import annotations
@@ -12,8 +24,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.models.base import Classifier, check_fit_inputs
 from repro.core.models.binning import DEFAULT_MAX_BINS, QuantileBinner
+from repro.core.models.kernels import HistogramScratch, TreeKernel
+from repro.obs import names
 
 
 @dataclass
@@ -73,7 +88,9 @@ class DecisionTree(Classifier):
         self.ccp_alpha = ccp_alpha
         self.max_bins = max_bins
         self._binner = QuantileBinner(max_bins)
-        self.root_: Optional[_Node] = None
+        #: Compiled flat-array tree — the primary fitted state.
+        self.kernel_: Optional[TreeKernel] = None
+        self._root_cache: Optional[_Node] = None
         self._n_train = 0
 
     def get_params(self) -> dict[str, object]:
@@ -86,21 +103,64 @@ class DecisionTree(Classifier):
         }
 
     # ------------------------------------------------------------------
+    # Fitted-tree views
+    # ------------------------------------------------------------------
+    @property
+    def root_(self) -> Optional[_Node]:
+        """Node-graph view of the tree (rebuilt from the kernel).
+
+        Kept for pruning walks, tests and tooling; prediction never
+        touches it. Assigning a root node recompiles :attr:`kernel_`.
+        """
+        if self._root_cache is None and self.kernel_ is not None:
+            self._root_cache = self.kernel_.to_cart_nodes()
+        return self._root_cache
+
+    @root_.setter
+    def root_(self, node: Optional[_Node]) -> None:
+        self._root_cache = node
+        self.kernel_ = None if node is None else TreeKernel.from_cart_root(node)
+
+    def __getstate__(self) -> dict:
+        # Ship the compact arrays only; the node graph is derived state.
+        state = dict(self.__dict__)
+        state["_root_cache"] = None
+        return state
+
+    # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
         X, y = check_fit_inputs(X, y)
-        binned = self._binner.fit_transform(X)
-        self._n_train = X.shape[0]
-        index = np.arange(X.shape[0])
-        self.root_ = self._build(binned, y.astype(np.float64), index, depth=0)
-        if self.ccp_alpha > 0:
-            self._prune(self.root_)
+        with obs.span(names.SPAN_MODELS_FIT):
+            binned = self._binner.fit_transform(X)
+            self._n_train = X.shape[0]
+            scratch = HistogramScratch(binned, self.max_bins)
+            index = np.arange(X.shape[0])
+            root = self._build(binned, y.astype(np.float64), index, 0, scratch, None)
+            if self.ccp_alpha > 0:
+                self._prune(root)
+            self.root_ = root
+        obs.counter(names.C_MODELS_TREES_BUILT).inc()
+        obs.counter(names.C_MODELS_KERNEL_COMPILES).inc()
+        assert self.kernel_ is not None
+        obs.gauge(names.G_MODELS_ENSEMBLE_NODES).set(self.kernel_.n_nodes)
         return self
 
     def _build(
-        self, binned: np.ndarray, y: np.ndarray, index: np.ndarray, depth: int
+        self,
+        binned: np.ndarray,
+        y: np.ndarray,
+        index: np.ndarray,
+        depth: int,
+        scratch: HistogramScratch,
+        hist: Optional[tuple[np.ndarray, np.ndarray]],
     ) -> _Node:
         n = index.shape[0]
-        pos = float(y[index].sum())
+        if hist is None:
+            pos = float(y[index].sum())
+        else:
+            # Every row lands in exactly one bin of feature 0, so its
+            # positive histogram sums to the node total (exact: counts).
+            pos = float(hist[1][0].sum())
         node = _Node(n=n, value=pos / n, impurity=_gini(pos, n))
         if (
             depth >= self.max_depth
@@ -110,48 +170,76 @@ class DecisionTree(Classifier):
         ):
             return node
 
-        best_gain = 0.0
-        best: Optional[tuple[int, int]] = None  # (feature, bin)
-        parent_impurity = node.impurity
-        sub = binned[index]
-        y_sub = y[index]
-        for j in range(binned.shape[1]):
-            bins = sub[:, j]
-            n_bins = self._binner.n_bins(j)
-            if n_bins < 2:
-                continue
-            total_hist = np.bincount(bins, minlength=n_bins).astype(np.float64)
-            pos_hist = np.bincount(bins, weights=y_sub, minlength=n_bins)
-            left_n = np.cumsum(total_hist)[:-1]
-            left_pos = np.cumsum(pos_hist)[:-1]
-            right_n = n - left_n
-            right_pos = pos - left_pos
-            valid = (left_n >= self.min_samples_leaf) & (right_n >= self.min_samples_leaf)
-            if not valid.any():
-                continue
-            with np.errstate(divide="ignore", invalid="ignore"):
-                p_l = np.where(left_n > 0, left_pos / left_n, 0.0)
-                p_r = np.where(right_n > 0, right_pos / right_n, 0.0)
-            gini_l = 2.0 * p_l * (1.0 - p_l)
-            gini_r = 2.0 * p_r * (1.0 - p_r)
-            weighted = (left_n * gini_l + right_n * gini_r) / n
-            # Impurity decrease weighted by node share of the training
-            # set (sklearn's min_impurity_decrease convention).
-            gain = (n / self._n_train) * (parent_impurity - weighted)
-            gain[~valid] = -np.inf
-            k = int(np.argmax(gain))
-            if gain[k] > best_gain and gain[k] >= self.min_impurity_decrease:
-                best_gain = float(gain[k])
-                best = (j, k)
+        B = self.max_bins
+        if hist is None:
+            total_hist, pos_hist = scratch.pair(index, None, y[index])
+            total_hist, pos_hist = total_hist[0], pos_hist[0]
+        else:
+            total_hist, pos_hist = hist
 
-        if best is None:
+        # Vectorised split search over all (feature, bin) candidates.
+        # Padding bins past a feature's real bin count are empty, so
+        # their right side is 0 samples and min_samples_leaf rejects
+        # them — no per-feature bookkeeping needed.
+        left_n = np.cumsum(total_hist, axis=1)[:, :-1]
+        left_pos = np.cumsum(pos_hist, axis=1)[:, :-1]
+        right_n = n - left_n
+        right_pos = pos - left_pos
+        valid = (left_n >= self.min_samples_leaf) & (right_n >= self.min_samples_leaf)
+        if not valid.any():
             return node
-        feature, split_bin = best
-        go_left = sub[:, feature] <= split_bin
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_l = np.where(left_n > 0, left_pos / left_n, 0.0)
+            p_r = np.where(right_n > 0, right_pos / right_n, 0.0)
+        gini_l = 2.0 * p_l * (1.0 - p_l)
+        gini_r = 2.0 * p_r * (1.0 - p_r)
+        weighted = (left_n * gini_l + right_n * gini_r) / n
+        # Impurity decrease weighted by node share of the training
+        # set (sklearn's min_impurity_decrease convention).
+        gain = (n / self._n_train) * (node.impurity - weighted)
+        gain[~valid] = -np.inf
+        # Flat C-order argmax = lowest feature then lowest bin on ties,
+        # matching the original first-feature-wins per-feature scan.
+        k = int(np.argmax(gain))
+        best_gain = float(gain.flat[k])
+        if not (best_gain > 0.0 and best_gain >= self.min_impurity_decrease):
+            return node
+
+        feature, split_bin = divmod(k, B - 1)
         node.feature = feature
         node.threshold = self._binner.threshold(feature, split_bin)
-        node.left = self._build(binned, y, index[go_left], depth + 1)
-        node.right = self._build(binned, y, index[~go_left], depth + 1)
+        go_left = binned[index, feature] <= split_bin
+        left_index = index[go_left]
+        right_index = index[~go_left]
+        n_l = left_index.shape[0]
+        pos_l = float(left_pos[feature, split_bin])
+
+        def wants_hist(m: int, p: float) -> bool:
+            # Mirrors the stopping test above: a child that will return
+            # a leaf immediately never needs its histograms.
+            return (
+                depth + 1 < self.max_depth
+                and m >= self.min_samples_split
+                and p != 0.0
+                and p != m
+            )
+
+        hist_l = hist_r = None
+        if wants_hist(n_l, pos_l) or wants_hist(n - n_l, pos - pos_l):
+            # Scan only the smaller child; the sibling's histograms are
+            # parent − small, exact because counts are integers.
+            small_is_left = n_l <= n - n_l
+            small_index = left_index if small_is_left else right_index
+            st, sp = scratch.pair(small_index, None, y[small_index])
+            st, sp = st[0], sp[0]
+            big = (total_hist - st, pos_hist - sp)
+            hist_l, hist_r = ((st, sp), big) if small_is_left else (big, (st, sp))
+            if not wants_hist(n_l, pos_l):
+                hist_l = None
+            if not wants_hist(n - n_l, pos - pos_l):
+                hist_r = None
+        node.left = self._build(binned, y, left_index, depth + 1, scratch, hist_l)
+        node.right = self._build(binned, y, right_index, depth + 1, scratch, hist_r)
         return node
 
     # ------------------------------------------------------------------
@@ -197,43 +285,23 @@ class DecisionTree(Classifier):
 
     # ------------------------------------------------------------------
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        if self.root_ is None:
+        if self.kernel_ is None:
             raise RuntimeError("DecisionTree is not fitted")
         X = np.asarray(X, dtype=np.float64)
-        out = np.empty(X.shape[0], dtype=np.float64)
-        index = np.arange(X.shape[0])
-        self._apply(self.root_, X, index, out)
-        return out
-
-    def _apply(self, node: _Node, X: np.ndarray, index: np.ndarray, out: np.ndarray) -> None:
-        if index.shape[0] == 0:
-            return
-        if node.is_leaf:
-            out[index] = node.value
-            return
-        assert node.left is not None and node.right is not None and node.feature is not None
-        go_left = X[index, node.feature] <= node.threshold
-        self._apply(node.left, X, index[go_left], out)
-        self._apply(node.right, X, index[~go_left], out)
+        with obs.span(names.SPAN_MODELS_PREDICT):
+            return self.kernel_.apply(X)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return (self.predict_proba(X) >= 0.5).astype(np.int64)
 
     @property
     def n_leaves(self) -> int:
-        if self.root_ is None:
+        if self.kernel_ is None:
             raise RuntimeError("DecisionTree is not fitted")
-        return self.root_.leaves()
+        return self.kernel_.n_leaves
 
     def depth(self) -> int:
         """Actual depth of the fitted tree."""
-        if self.root_ is None:
+        if self.kernel_ is None:
             raise RuntimeError("DecisionTree is not fitted")
-
-        def walk(node: _Node) -> int:
-            if node.is_leaf:
-                return 0
-            assert node.left is not None and node.right is not None
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(self.root_)
+        return self.kernel_.max_depth()

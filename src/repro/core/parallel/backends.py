@@ -221,7 +221,11 @@ class ProcessBackend:
         Raises :class:`ShardFailure` naming the dead shard if a worker
         exited (or its pipe broke) before the model reached it.
         """
+        # The scrubber's tree models pickle as compiled flat-array
+        # kernels (node graphs are derived state and excluded), so the
+        # payload is a handful of contiguous buffers per ensemble.
         blob = pickle.dumps(scrubber)
+        obs.counter(names.C_PARALLEL_BROADCAST_BYTES).inc(len(blob))
         for shard, conn in enumerate(self._conns):
             proc = self._procs[shard]
             if proc is None or not proc.is_alive():

@@ -32,18 +32,20 @@ from repro.core.encoding.woe import WoEEncoder, WoETable
 from repro.core.models.base import Classifier
 from repro.core.models.baselines import DummyClassifier
 from repro.core.models.bayes import BernoulliNB, ComplementNB, GaussianNB, MultinomialNB
-from repro.core.models.boosting import GradientBoostedTrees, _BoostNode
+from repro.core.models.boosting import GradientBoostedTrees
+from repro.core.models.kernels import ForestKernel, TreeKernel
 from repro.core.models.linear import LinearSVM
 from repro.core.models.nn import NeuralNetwork
 from repro.core.models.pipeline import ModelPipeline
-from repro.core.models.tree import DecisionTree, _Node
+from repro.core.models.tree import DecisionTree
 from repro.core.rules.items import ItemEncoder
 from repro.core.rules.model import RuleSet
 from repro.core.rules.serialization import rule_from_dict, rule_to_dict
 from repro.core.scrubber import IXPScrubber, ScrubberConfig
 
-#: Format version; bump on breaking layout changes.
-FORMAT_VERSION = 1
+#: Format version; bump on breaking layout changes. Version 2 stores
+#: tree models as flat kernel arrays instead of nested node objects.
+FORMAT_VERSION = 2
 
 
 def _array(values: Optional[np.ndarray]) -> Any:
@@ -161,52 +163,64 @@ def _transformer_from_dict(data: dict[str, Any]) -> Transformer:
 
 
 # ----------------------------------------------------------------------
-# Tree structures
+# Tree structures (format v2: flat kernel arrays, no nested nodes)
 # ----------------------------------------------------------------------
-def _boost_node_to_dict(node: _BoostNode) -> dict[str, Any]:
-    if node.is_leaf:
-        return {"w": node.weight}
-    assert node.left is not None and node.right is not None
+def _forest_to_dict(forest: Optional[ForestKernel]) -> Optional[dict[str, Any]]:
+    if forest is None:
+        return None
     return {
-        "f": node.feature,
-        "t": node.threshold,
-        "l": _boost_node_to_dict(node.left),
-        "r": _boost_node_to_dict(node.right),
-        "w": node.weight,
+        "feature": _array(forest.feature),
+        "threshold": _array(forest.threshold),
+        "split_bin": _array(forest.split_bin),
+        "left": _array(forest.left),
+        "right": _array(forest.right),
+        "value": _array(forest.value),
+        "offsets": _array(forest.offsets),
     }
 
 
-def _boost_node_from_dict(data: dict[str, Any]) -> _BoostNode:
-    node = _BoostNode(weight=float(data["w"]))
-    if "f" in data:
-        node.feature = int(data["f"])
-        node.threshold = float(data["t"])
-        node.left = _boost_node_from_dict(data["l"])
-        node.right = _boost_node_from_dict(data["r"])
-    return node
+def _forest_from_dict(data: Optional[dict[str, Any]]) -> Optional[ForestKernel]:
+    if data is None:
+        return None
+    return ForestKernel(
+        feature=np.asarray(data["feature"], dtype=np.int32),
+        threshold=np.asarray(data["threshold"], dtype=np.float64),
+        split_bin=np.asarray(data["split_bin"], dtype=np.int32),
+        left=np.asarray(data["left"], dtype=np.int32),
+        right=np.asarray(data["right"], dtype=np.int32),
+        value=np.asarray(data["value"], dtype=np.float64),
+        offsets=np.asarray(data["offsets"], dtype=np.int64),
+    )
 
 
-def _cart_node_to_dict(node: _Node) -> dict[str, Any]:
-    out: dict[str, Any] = {"n": node.n, "v": node.value, "g": node.impurity}
-    if not node.is_leaf:
-        assert node.left is not None and node.right is not None
-        out.update(
-            f=node.feature,
-            t=node.threshold,
-            l=_cart_node_to_dict(node.left),
-            r=_cart_node_to_dict(node.right),
-        )
-    return out
+def _tree_kernel_to_dict(kernel: Optional[TreeKernel]) -> Optional[dict[str, Any]]:
+    if kernel is None:
+        return None
+    return {
+        "feature": _array(kernel.feature),
+        "threshold": _array(kernel.threshold),
+        "split_bin": _array(kernel.split_bin),
+        "left": _array(kernel.left),
+        "right": _array(kernel.right),
+        "value": _array(kernel.value),
+        "n": _array(kernel.n),
+        "impurity": _array(kernel.impurity),
+    }
 
 
-def _cart_node_from_dict(data: dict[str, Any]) -> _Node:
-    node = _Node(n=int(data["n"]), value=float(data["v"]), impurity=float(data["g"]))
-    if "f" in data:
-        node.feature = int(data["f"])
-        node.threshold = float(data["t"])
-        node.left = _cart_node_from_dict(data["l"])
-        node.right = _cart_node_from_dict(data["r"])
-    return node
+def _tree_kernel_from_dict(data: Optional[dict[str, Any]]) -> Optional[TreeKernel]:
+    if data is None:
+        return None
+    return TreeKernel(
+        feature=np.asarray(data["feature"], dtype=np.int32),
+        threshold=np.asarray(data["threshold"], dtype=np.float64),
+        split_bin=np.asarray(data["split_bin"], dtype=np.int32),
+        left=np.asarray(data["left"], dtype=np.int32),
+        right=np.asarray(data["right"], dtype=np.int32),
+        value=np.asarray(data["value"], dtype=np.float64),
+        n=_maybe_array(data["n"], dtype=np.int64),
+        impurity=_maybe_array(data["impurity"]),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -219,7 +233,7 @@ def _classifier_to_dict(classifier: Classifier) -> dict[str, Any]:
             "params": classifier.get_params(),
             "min_child_weight": classifier.min_child_weight,
             "base_score": classifier.base_score_,
-            "trees": [_boost_node_to_dict(t) for t in classifier.trees_],
+            "forest": _forest_to_dict(classifier.forest_),
             "feature_gain": _array(classifier.feature_gain_),
             "feature_splits": _array(classifier.feature_splits_),
         }
@@ -228,7 +242,7 @@ def _classifier_to_dict(classifier: Classifier) -> dict[str, Any]:
             "kind": "cart",
             "params": classifier.get_params(),
             "n_train": classifier._n_train,
-            "root": None if classifier.root_ is None else _cart_node_to_dict(classifier.root_),
+            "tree": _tree_kernel_to_dict(classifier.kernel_),
         }
     if isinstance(classifier, LinearSVM):
         return {
@@ -280,15 +294,14 @@ def _classifier_from_dict(data: dict[str, Any]) -> Classifier:
             min_child_weight=float(data["min_child_weight"]), **params
         )
         model.base_score_ = float(data["base_score"])
-        model.trees_ = [_boost_node_from_dict(t) for t in data["trees"]]
+        model.forest_ = _forest_from_dict(data["forest"])
         model.feature_gain_ = _maybe_array(data["feature_gain"])
         model.feature_splits_ = _maybe_array(data["feature_splits"], dtype=np.int64)
         return model
     if kind == "cart":
         model = DecisionTree(**data["params"])
         model._n_train = int(data["n_train"])
-        if data["root"] is not None:
-            model.root_ = _cart_node_from_dict(data["root"])
+        model.kernel_ = _tree_kernel_from_dict(data["tree"])
         return model
     if kind == "lsvm":
         model = LinearSVM(**data["params"])

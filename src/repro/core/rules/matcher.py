@@ -16,7 +16,7 @@ from repro.netflow.dataset import FlowDataset
 
 
 def _port_mask(match: PortMatch, ports: np.ndarray) -> np.ndarray:
-    inside = np.isin(ports, np.fromiter(match.values, dtype=np.uint32))
+    inside = np.isin(ports, match.values_array())
     return ~inside if match.negated else inside
 
 
@@ -56,11 +56,18 @@ def matched_rule_ids(
 ) -> list[tuple[str, ...]]:
     """Per-flow tuple of matching rule ids (for annotation/explanation)."""
     matrix = match_matrix(rules, flows)
-    ids = [rule.rule_id for rule in rules]
-    out: list[tuple[str, ...]] = []
-    for row in matrix:
-        out.append(tuple(ids[k] for k in np.flatnonzero(row)))
-    return out
+    n_flows = matrix.shape[0]
+    if not rules:
+        return [()] * n_flows
+    # One nonzero pass over the whole matrix instead of a Python loop
+    # with a flatnonzero per row: nonzero returns row-major order, so
+    # each flow's matches form one contiguous, column-sorted run.
+    ids = np.array([rule.rule_id for rule in rules], dtype=object)
+    row_idx, col_idx = np.nonzero(matrix)
+    matched = ids[col_idx]
+    bounds = np.zeros(n_flows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(row_idx, minlength=n_flows), out=bounds[1:])
+    return [tuple(matched[bounds[i] : bounds[i + 1]]) for i in range(n_flows)]
 
 
 def coverage(

@@ -10,7 +10,6 @@ corpora run into millions.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
-from typing import Any
 
 import numpy as np
 
@@ -76,25 +75,54 @@ class FlowDataset:
         """Create a dataset with zero flows."""
         return cls({name: np.empty(0, dtype=dtype) for name, dtype in SCHEMA.items()})
 
+    #: Record attribute backing each schema column.
+    _RECORD_FIELDS: dict[str, str] = {
+        "time": "time",
+        "src_ip": "src_ip",
+        "dst_ip": "dst_ip",
+        "src_port": "src_port",
+        "dst_port": "dst_port",
+        "protocol": "protocol",
+        "packets": "packets",
+        "bytes": "bytes_",
+        "src_mac": "src_mac",
+        "blackhole": "blackhole",
+    }
+
+    #: Row dtype for the single-pass ``from_records`` fill.
+    _ROW_DTYPE = np.dtype([(name, dtype) for name, dtype in SCHEMA.items()])
+
     @classmethod
     def from_records(cls, records: Iterable[FlowRecord]) -> "FlowDataset":
-        """Build a dataset from an iterable of :class:`FlowRecord`."""
-        records = list(records)
-        columns: dict[str, list[Any]] = {name: [] for name in SCHEMA}
-        for record in records:
-            columns["time"].append(record.time)
-            columns["src_ip"].append(record.src_ip)
-            columns["dst_ip"].append(record.dst_ip)
-            columns["src_port"].append(record.src_port)
-            columns["dst_port"].append(record.dst_port)
-            columns["protocol"].append(record.protocol)
-            columns["packets"].append(record.packets)
-            columns["bytes"].append(record.bytes_)
-            columns["src_mac"].append(record.src_mac)
-            columns["blackhole"].append(record.blackhole)
-        return cls(
-            {name: np.asarray(values, dtype=SCHEMA[name]) for name, values in columns.items()}
+        """Build a dataset from an iterable of :class:`FlowRecord`.
+
+        One ``np.fromiter`` pass fills a preallocated structured buffer
+        (one row per record), then each column is sliced out contiguously.
+        A single pass with inline attribute access beats both a per-column
+        append loop and per-column generator passes, which matters on
+        million-flow corpora.
+        """
+        records = records if isinstance(records, list) else list(records)
+        rows = np.fromiter(
+            (
+                (
+                    r.time,
+                    r.src_ip,
+                    r.dst_ip,
+                    r.src_port,
+                    r.dst_port,
+                    r.protocol,
+                    r.packets,
+                    r.bytes_,
+                    r.src_mac,
+                    r.blackhole,
+                )
+                for r in records
+            ),
+            dtype=cls._ROW_DTYPE,
+            count=len(records),
         )
+        return cls({name: np.ascontiguousarray(rows[name]) for name in SCHEMA})
 
     @classmethod
     def concat(cls, datasets: Iterable["FlowDataset"]) -> "FlowDataset":

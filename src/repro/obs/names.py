@@ -39,9 +39,12 @@ C_IXP_SAMPLER_FLOWS_IN = "ixp.sampler_flows_in"
 C_IXP_SAMPLER_FLOWS_KEPT = "ixp.sampler_flows_kept"
 C_DRIFT_MODELS_TRAINED = "drift.models_trained"
 C_DRIFT_DAYS_SCORED = "drift.days_scored"
+C_MODELS_TREES_BUILT = "models.trees_built"
+C_MODELS_KERNEL_COMPILES = "models.kernel_compiles"
 C_PARALLEL_FLOWS_DISPATCHED = "parallel.flows_dispatched"
 C_PARALLEL_SHARD_FLOWS = "parallel.shard_flows"
 C_PARALLEL_MODEL_BROADCASTS = "parallel.model_broadcasts"
+C_PARALLEL_BROADCAST_BYTES = "parallel.broadcast_bytes"
 C_PARALLEL_EQUIVALENCE_CHECKS = "parallel.equivalence_checks"
 C_RESILIENCE_WORKER_RESTARTS = "resilience.worker_restarts"
 C_RESILIENCE_BATCH_RETRIES = "resilience.batch_retries"
@@ -55,6 +58,7 @@ G_STREAMING_OPEN_BINS = "streaming.open_bins"
 G_STREAMING_PENDING_LABEL_BINS = "streaming.pending_label_bins"
 G_STREAMING_DAY_BUFFERS = "streaming.day_buffers"
 G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
+G_MODELS_ENSEMBLE_NODES = "models.ensemble_nodes"
 G_PARALLEL_SHARDS = "parallel.shards"
 G_RESILIENCE_DEGRADED_SHARDS = "resilience.degraded_shards"
 
@@ -68,6 +72,8 @@ SPAN_SCRUBBER_FIT = "scrubber.fit"
 SPAN_SCRUBBER_MINE_RULES = "scrubber.mine_rules"
 SPAN_SCRUBBER_SCORE = "scrubber.score"
 SPAN_LABELING_BALANCE = "labeling.balance"
+SPAN_MODELS_FIT = "models.fit"
+SPAN_MODELS_PREDICT = "models.predict"
 SPAN_RULES_MINE = "rules.mine"
 SPAN_FEATURES_AGGREGATE = "features.aggregate"
 SPAN_ENCODING_WOE_FIT = "encoding.woe_fit"

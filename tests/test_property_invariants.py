@@ -11,6 +11,9 @@ and asserts an invariant the pipeline's correctness argument rests on:
 * the §3 balancer keeps every blackholed flow and never lets benign
   traffic outnumber blackholed traffic in any bin;
 * rule matching is deterministic, subset-consistent and idempotent;
+* compiled flat-array tree kernels predict bit-identically to the
+  recursive reference traversals for DT and GBT, including empty and
+  single-row inputs;
 * sharded execution merges to exactly the serial verdict stream for
   shards ∈ {1, 2, 4} across 50 seeded workloads.
 
@@ -28,8 +31,15 @@ from repro.core.encoding.woe import UNKNOWN_WOE, WoEEncoder
 from repro.core.features import schema
 from repro.core.features.aggregation import aggregate, aggregate_batch
 from repro.core.labeling.balancer import balance
+from repro.core.models.boosting import GradientBoostedTrees
+from repro.core.models.kernels import (
+    ForestKernel,
+    reference_cart_values,
+    reference_forest_margin,
+)
+from repro.core.models.tree import DecisionTree
 from repro.core.parallel import ShardedStreamingScrubber
-from repro.core.rules.matcher import match_matrix, rule_mask
+from repro.core.rules.matcher import match_matrix, matched_rule_ids, rule_mask
 from repro.core.scrubber import IXPScrubber, ScrubberConfig
 from repro.core.streaming import StreamingScrubber
 
@@ -226,3 +236,95 @@ class TestShardMergeDeterminism:
                 assert actual == expected, (
                     f"seed {seed}: shards={n_shards} diverged from serial"
                 )
+
+
+class TestKernelEquivalence:
+    """Compiled flat-array kernels are bit-identical to recursion.
+
+    The model-kernel layer replaces every recursive ``_apply`` walk with
+    iterative node-index propagation; these properties pin the compiled
+    path to the recursive oracle bit-for-bit across random datasets and
+    hyperparameters, including empty and single-row prediction inputs.
+    """
+
+    @staticmethod
+    def _dataset(rng, n, n_features):
+        X = rng.normal(size=(n, n_features))
+        # A low-cardinality column keeps the binner's short-bin paths hot.
+        X[:, 0] = rng.integers(0, 3, size=n)
+        y = (X[:, 0] + X[:, 1] > rng.normal(size=n)).astype(np.int64)
+        if y.min() == y.max():
+            y[: n // 2] = 1 - y[0]
+        return X, y
+
+    def test_gbt_margin_matches_recursive_reference(self):
+        for seed in range(10):
+            rng = strategies.rng_for(seed)
+            n = int(rng.integers(50, 400))
+            n_features = int(rng.integers(2, 8))
+            X, y = self._dataset(rng, n, n_features)
+            model = GradientBoostedTrees(
+                n_estimators=int(rng.integers(1, 12)),
+                max_depth=int(rng.integers(1, 6)),
+                learning_rate=float(rng.uniform(0.05, 0.5)),
+                reg_lambda=float(rng.choice([0.0, 1.0, 5.0])),
+                min_child_weight=float(rng.choice([0.0, 1.0, 10.0])),
+            ).fit(X, y)
+            for n_test in (0, 1, int(rng.integers(2, 200))):
+                Xt = rng.normal(size=(n_test, n_features))
+                kernel = model.decision_function(Xt)
+                recursive = reference_forest_margin(
+                    model.trees_, model.base_score_, model.learning_rate, Xt
+                )
+                assert np.array_equal(kernel, recursive), (
+                    f"seed {seed}: GBT kernel drifted on n_test={n_test}"
+                )
+
+    def test_gbt_forest_recompiles_identically_from_node_graphs(self):
+        """trees_ -> from_boost_nodes round-trips the BFS stacking."""
+        for seed in range(5):
+            rng = strategies.rng_for(seed)
+            X, y = self._dataset(rng, 200, 5)
+            model = GradientBoostedTrees(n_estimators=6, max_depth=4).fit(X, y)
+            recompiled = ForestKernel.from_boost_nodes(model.trees_)
+            Xt = rng.normal(size=(100, 5))
+            assert model.forest_ is not None
+            assert np.array_equal(
+                recompiled.margin(Xt, model.base_score_, model.learning_rate),
+                model.forest_.margin(Xt, model.base_score_, model.learning_rate),
+            ), f"seed {seed}: recompiled forest diverged"
+
+    def test_cart_kernel_matches_recursive_reference(self):
+        for seed in range(10):
+            rng = strategies.rng_for(seed)
+            n = int(rng.integers(60, 400))
+            n_features = int(rng.integers(2, 8))
+            X, y = self._dataset(rng, n, n_features)
+            model = DecisionTree(
+                max_depth=int(rng.integers(1, 10)),
+                min_samples_leaf=int(rng.integers(1, 10)),
+                min_samples_split=int(rng.integers(2, 10)),
+                ccp_alpha=float(rng.choice([0.0, 0.001, 0.01])),
+            ).fit(X, y)
+            assert model.root_ is not None
+            for n_test in (0, 1, int(rng.integers(2, 200))):
+                Xt = rng.normal(size=(n_test, n_features))
+                kernel = model.predict_proba(Xt)
+                recursive = reference_cart_values(model.root_, Xt)
+                assert np.array_equal(kernel, recursive), (
+                    f"seed {seed}: CART kernel drifted on n_test={n_test}"
+                )
+
+    def test_matched_rule_ids_matches_per_row_scan(self):
+        for seed in range(10):
+            rng = strategies.rng_for(seed)
+            flows = strategies.labeled_flows(rng, n_flows=300)
+            rules = strategies.tagging_rules(rng, n_rules=5)
+            matrix = match_matrix(rules, flows)
+            ids = [rule.rule_id for rule in rules]
+            expected = [
+                tuple(ids[k] for k in np.flatnonzero(row)) for row in matrix
+            ]
+            assert matched_rule_ids(rules, flows) == expected, (
+                f"seed {seed}: vectorised matched_rule_ids diverged"
+            )
