@@ -1,0 +1,62 @@
+"""Project-aware static analysis for the scrubber codebase.
+
+``repro.analysis`` turns the repository's implicit contracts into
+machine-checked ones. Four passes run over the AST of ``src/``:
+
+* **determinism** (RS101–RS104) — no wall-clock reads outside
+  ``repro.obs``, no process-global RNG, no salted ``hash()``, no
+  unordered-set iteration in the serialization-adjacent layers. These
+  protect the bit-identical-verdicts guarantee the parallel and
+  resilience layers are built on.
+* **shard safety** (RS201–RS203) — a call-graph race detector over the
+  code reachable from the shard-worker entry points: writes to module
+  globals, class-level attributes, or captured closures there diverge
+  per worker process without ever crashing.
+* **layering** (RS301–RS302) — the ARCHITECTURE.md import DAG and the
+  stdlib+numpy dependency rule.
+* **obs-names** (RS401–RS404) — the catalogue / emission / METRICS.md
+  triangle stays closed in both directions.
+
+Violations can be suppressed inline with a reason
+(``# repro: lint-ignore[RS101] why``) or grandfathered in the
+checked-in baseline (``lint-baseline.json``); unexplained ignores are
+themselves findings. Entry points: ``repro lint`` (CLI) and
+:func:`run_lint` (used by the test suite). The rule catalogue is
+documented in ``docs/ANALYSIS.md``.
+
+The package deliberately depends on nothing but the stdlib — it sits
+at the bottom of the layer DAG it enforces.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.config import LintConfig, default_config
+from repro.analysis.findings import RULES, Finding, rule_exists
+from repro.analysis.passes import ALL_PASSES
+from repro.analysis.project import Module, Project
+from repro.analysis.runner import (
+    LintResult,
+    format_human,
+    format_json,
+    run_lint,
+)
+from repro.analysis.suppressions import Suppression, scan_suppressions
+
+__all__ = [
+    "ALL_PASSES",
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Module",
+    "Project",
+    "RULES",
+    "Suppression",
+    "default_config",
+    "format_human",
+    "format_json",
+    "load_baseline",
+    "rule_exists",
+    "run_lint",
+    "scan_suppressions",
+    "write_baseline",
+]

@@ -1,0 +1,126 @@
+"""The checked-in finding baseline: grandfathered debt, with reasons.
+
+The baseline file (``lint-baseline.json`` at the repo root) lists
+fingerprints of findings that are *known and accepted*; ``repro lint``
+fails only on findings outside it. The intended workflow:
+
+* the baseline ships **empty** — new violations are fixed or suppressed
+  inline at the site, with a reason;
+* when a finding genuinely must be grandfathered (e.g. a pass tightens
+  and surfaces pre-existing debt too large for one PR), add it with
+  ``repro lint --write-baseline`` and then **fill in the
+  justification** — an entry without one is itself a finding (RS003);
+* entries whose fingerprint no longer matches anything are reported as
+  stale so the file shrinks back to empty over time.
+
+Fingerprints hash ``(rule, path, symbol, key)`` and exclude line
+numbers, so unrelated edits don't churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    justification: str
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """Set of accepted finding fingerprints."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = (), path=None):
+        self.entries = tuple(entries)
+        self.path = path
+        self._by_fp = {e.fingerprint: e for e in self.entries}
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._by_fp
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def unjustified(self) -> list[BaselineEntry]:
+        return [e for e in self.entries if not e.justification.strip()]
+
+    def stale(self, findings: Iterable[Finding]) -> list[BaselineEntry]:
+        """Entries matching none of the given findings."""
+        live = {f.fingerprint for f in findings}
+        return [e for e in self.entries if e.fingerprint not in live]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline(path=path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format (want version {_VERSION})"
+        )
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                fingerprint=str(raw["fingerprint"]),
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")),
+                symbol=str(raw.get("symbol", "")),
+                message=str(raw.get("message", "")),
+                justification=str(raw.get("justification", "")),
+            )
+        )
+    return Baseline(entries, path=path)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Serialise findings as baseline entries (justifications to fill).
+
+    Justifications are written empty on purpose: the next ``repro
+    lint`` run reports RS003 for each until a human writes down *why*
+    the finding is acceptable — an unexplained baseline can't go green.
+    """
+    entries = tuple(
+        BaselineEntry(
+            fingerprint=f.fingerprint,
+            rule=f.rule,
+            path=f.path,
+            symbol=f.symbol,
+            message=f.message,
+            justification="",
+        )
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    )
+    payload = {
+        "version": _VERSION,
+        "entries": [e.as_dict() for e in entries],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries, path=path)

@@ -1,0 +1,91 @@
+"""Lint configuration: the project contracts the passes enforce.
+
+:func:`default_config` encodes **this repository's** contracts — the
+layer DAG from ``docs/ARCHITECTURE.md``, the shard-worker entry points
+from ``core/parallel``/``core/resilience``, the obs name catalogue and
+its documentation page. Tests build custom configs over fixture trees,
+so every pass stays reusable against any source root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+__all__ = ["LintConfig", "default_config", "REPO_ROOT", "DEFAULT_LAYERS"]
+
+#: The repository root, derived from this file's location under
+#: ``src/repro/analysis/`` (parents: analysis, repro, src, root).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: The ARCHITECTURE.md import DAG: each top-level subpackage of
+#: ``repro`` maps to the set of sibling subpackages it may import at
+#: runtime. ``repro.obs`` (and the analyzer itself) sit at the bottom:
+#: stdlib/numpy only. A subpackage missing from this table fails the
+#: layering pass until the contract (here + ARCHITECTURE.md) names it.
+DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
+    "obs": frozenset(),
+    "analysis": frozenset(),
+    "netflow": frozenset({"obs"}),
+    "bgp": frozenset({"netflow", "obs"}),
+    "traffic": frozenset({"netflow", "bgp", "obs"}),
+    "ixp": frozenset({"netflow", "bgp", "traffic", "obs"}),
+    "core": frozenset({"netflow", "bgp", "traffic", "obs"}),
+    "experiments": frozenset(
+        {"core", "ixp", "netflow", "bgp", "traffic", "obs"}
+    ),
+    "cli": frozenset(
+        {"core", "experiments", "ixp", "netflow", "bgp", "traffic", "obs",
+         "analysis"}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the passes need to know about one project."""
+
+    #: Directory containing the top-level package(s) (the repo's src/).
+    src_root: Path
+    #: The top-level package the contracts speak about.
+    package: str = "repro"
+    #: Paths in findings are rendered relative to this directory.
+    rel_to: Optional[Path] = None
+    #: Layer DAG: subpackage -> allowed sibling subpackages.
+    layers: Mapping[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: External top-level imports allowed anywhere in the package.
+    external_allow: frozenset[str] = frozenset({"numpy", "scipy"})
+    #: Module prefixes where wall-clock reads are legitimate (the obs
+    #: layer owns the injectable clock).
+    clock_exempt: tuple[str, ...] = ("repro.obs",)
+    #: Module prefixes where set-iteration order matters (RS103 scope):
+    #: layers whose outputs feed serialization, hashing, or verdicts.
+    set_iter_scopes: tuple[str, ...] = ("repro.core", "repro.netflow")
+    #: Qualified names of the functions that run inside shard workers;
+    #: the race detector's call-graph roots.
+    worker_entry_points: tuple[str, ...] = (
+        "repro.core.parallel.backends._worker_main",
+        "repro.core.parallel.backends._execute_fault",
+    )
+    #: The obs name catalogue module and the page documenting it.
+    names_module: str = "repro.obs.names"
+    metrics_doc: Optional[Path] = None
+    #: Module prefixes exempt from the obs-names emission scan (the obs
+    #: layer handles caller-supplied names, it never emits its own).
+    obs_exempt: tuple[str, ...] = ("repro.obs",)
+    #: Default baseline file.
+    baseline_path: Optional[Path] = None
+
+
+def default_config(root: Optional[Path] = None) -> LintConfig:
+    """The configuration for this repository."""
+    root = (root or REPO_ROOT).resolve()
+    return LintConfig(
+        src_root=root / "src",
+        rel_to=root,
+        metrics_doc=root / "docs" / "METRICS.md",
+        baseline_path=root / "lint-baseline.json",
+    )

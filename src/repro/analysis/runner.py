@@ -1,0 +1,191 @@
+"""Lint runner: passes -> suppressions -> baseline -> report.
+
+:func:`run_lint` is the one entry point the CLI, CI and the test suite
+share. The filtering order matters and is part of the contract:
+
+1. every pass runs over the whole project (contracts like layering and
+   obs-names need the global view even when only a few paths are
+   reported);
+2. inline suppressions are applied; malformed ones (RS001) and unused
+   ones (RS002) are *added* as findings, so an ignore comment can never
+   rot silently;
+3. the baseline absorbs known fingerprints; entries without a
+   justification surface as RS003 and stale entries are reported so the
+   file shrinks back toward empty.
+
+Exit semantics (used by ``repro lint`` and CI): findings outside the
+baseline -> 1, otherwise 0.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.passes import ALL_PASSES
+from repro.analysis.project import Project
+from repro.analysis.suppressions import Suppression, scan_suppressions
+
+__all__ = ["LintResult", "run_lint", "format_human", "format_json"]
+
+#: Schema version of the ``--format json`` payload; bump on breaking
+#: changes (tests/test_cli.py pins the shape).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)  # actionable
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    modules_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def _under(finding: Finding, paths: Sequence[str]) -> bool:
+    if not paths:
+        return True
+    return any(
+        finding.path == p or finding.path.startswith(p.rstrip("/") + "/")
+        for p in paths
+    )
+
+
+def run_lint(
+    config: LintConfig,
+    paths: Sequence[str] = (),
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Run every pass and fold in suppressions and the baseline.
+
+    ``paths`` restricts which findings are *reported* (posix paths
+    relative to the lint root); the analysis itself always sees the
+    whole project. ``rules`` restricts to a subset of rule ids.
+    ``baseline=None`` loads ``config.baseline_path``; pass an empty
+    :class:`Baseline` to lint without one.
+    """
+    project = Project.load(config.src_root, rel_to=config.rel_to)
+    result = LintResult(modules_scanned=len(project.modules))
+
+    raw: list[Finding] = []
+    for pass_cls in ALL_PASSES:
+        raw.extend(pass_cls().run(project, config))
+
+    suppressions: list[Suppression] = []
+    for module in project.modules:
+        if module.name.split(".")[0] != config.package:
+            continue
+        found, malformed = scan_suppressions(module.rel, module.source)
+        suppressions.extend(found)
+        raw.extend(malformed)
+
+    kept: list[Finding] = []
+    for finding in raw:
+        match = next(
+            (s for s in suppressions if s.matches(finding)), None
+        )
+        if match is not None:
+            match.used = True
+            result.suppressed.append((finding, match))
+        else:
+            kept.append(finding)
+
+    for suppression in suppressions:
+        if not suppression.used:
+            kept.append(
+                Finding(
+                    rule="RS002",
+                    path=suppression.path,
+                    line=suppression.line,
+                    col=1,
+                    message=(
+                        "unused suppression for "
+                        f"{', '.join(suppression.rules)} — no matching "
+                        "finding on the suppressed line; delete the comment"
+                    ),
+                    key=f"unused-suppression:{','.join(suppression.rules)}",
+                )
+            )
+
+    if baseline is None:
+        baseline = (
+            load_baseline(config.baseline_path)
+            if config.baseline_path is not None
+            else Baseline()
+        )
+    for entry in baseline.unjustified():
+        kept.append(
+            Finding(
+                rule="RS003",
+                path=str(baseline.path) if baseline.path else "baseline",
+                line=1,
+                col=1,
+                message=(
+                    f"baseline entry {entry.fingerprint} ({entry.rule} in "
+                    f"{entry.path}) has no justification — explain why it "
+                    "is accepted or fix it"
+                ),
+                key=f"unjustified:{entry.fingerprint}",
+            )
+        )
+    result.stale_baseline = baseline.stale(kept)
+
+    if rules:
+        wanted = set(rules)
+        kept = [f for f in kept if f.rule in wanted]
+
+    for finding in sorted(kept, key=lambda f: f.sort_key):
+        if not _under(finding, paths):
+            continue
+        if finding in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def format_human(result: LintResult) -> str:
+    """The terminal report."""
+    lines = [f.render() for f in result.findings]
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{result.modules_scanned} module(s) scanned"
+    )
+    if result.stale_baseline:
+        summary += (
+            f"; {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+            "(safe to delete)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Stable machine-readable report (schema pinned by tests)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.as_dict() for f in result.findings],
+        "counts": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "modules_scanned": result.modules_scanned,
+        "rules": RULES,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,133 @@
+"""Inline suppressions: ``# repro: lint-ignore[RS101] reason``.
+
+Grammar (one comment, one or more rule ids, a mandatory reason)::
+
+    x = time.time()  # repro: lint-ignore[RS101] operator-facing timing only
+    # repro: lint-ignore[RS103,RS104] commutative fold; order never escapes
+    for item in set(items):
+        ...
+
+A trailing comment suppresses matching findings on its own physical
+line; a comment alone on a line suppresses the next non-blank,
+non-comment line. The reason is required — a suppression without one
+(or naming an unknown rule id) is itself a finding (``RS001``), and a
+suppression that matches nothing is flagged as stale (``RS002``), so
+ignores can never silently outlive the violation they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, rule_exists
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*lint-ignore\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed lint-ignore comment."""
+
+    path: str
+    line: int  # line the comment sits on (1-based)
+    target_line: int  # line whose findings it suppresses
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.path == self.path
+            and finding.line == self.target_line
+            and finding.rule in self.rules
+        )
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """1-based number of the next non-blank, non-comment line."""
+    for offset in range(after, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return after  # comment at EOF: degenerate, points past the file
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(line, col, text) of every real comment token.
+
+    Tokenizing (rather than regex over raw lines) keeps lint-ignore
+    examples inside docstrings and string literals from being parsed
+    as live suppressions.
+    """
+    out: list[tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        pass  # file already parsed as AST; truncated tail only
+    return out
+
+
+def scan_suppressions(
+    path: str, source: str
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every lint-ignore comment in one file.
+
+    Returns the valid suppressions plus RS001 findings for malformed
+    ones (empty reason, empty or unknown rule ids).
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[Finding] = []
+    lines = source.splitlines()
+    for lineno, col, text in _comment_tokens(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        idx = lineno - 1
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = match.group("reason").strip()
+        problems = []
+        if not rules:
+            problems.append("no rule ids")
+        unknown = [r for r in rules if not rule_exists(r)]
+        if unknown:
+            problems.append(f"unknown rule id(s) {', '.join(unknown)}")
+        if not reason:
+            problems.append("missing reason")
+        if problems:
+            malformed.append(
+                Finding(
+                    rule="RS001",
+                    path=path,
+                    line=lineno,
+                    col=col + match.start() + 1,
+                    message=(
+                        "malformed suppression: " + "; ".join(problems)
+                        + " — use '# repro: lint-ignore[RSnnn] reason'"
+                    ),
+                    key=f"suppression:{lineno}",
+                )
+            )
+            continue
+        trailing = lines[idx][:col].strip() != ""
+        target = lineno if trailing else _next_code_line(lines, idx + 1)
+        suppressions.append(
+            Suppression(
+                path=path,
+                line=lineno,
+                target_line=target,
+                rules=rules,
+                reason=reason,
+            )
+        )
+    return suppressions, malformed

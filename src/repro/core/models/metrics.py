@@ -118,10 +118,10 @@ def prediction_cost_mcc(
     n = max(X.shape[0], 1)
     # Warm-up run (JIT-less, but touches caches and lazy buffers).
     predict(X)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: lint-ignore[RS101] measuring latency IS this function's job (MCC cost metric)
     for _ in range(runs):
         predict(X)
-    elapsed = (time.perf_counter() - start) / runs
+    elapsed = (time.perf_counter() - start) / runs  # repro: lint-ignore[RS101] measuring latency IS this function's job (MCC cost metric)
     cycles = elapsed * NOMINAL_GHZ * 1e9
     return cycles / n / 1e6
 

@@ -79,13 +79,14 @@ def _build_tree(
 ) -> _FPTree:
     frequency: dict[Item, int] = defaultdict(int)
     for items, weight in weighted:
+        # repro: lint-ignore[RS103] commutative integer accumulation; iteration order cannot affect the totals
         for item in set(items):
             frequency[item] += weight
     frequent = {i for i, c in frequency.items() if c >= min_count}
 
     tree = _FPTree()
     for items, weight in weighted:
-        filtered = [i for i in set(items) if i in frequent]
+        filtered = [i for i in set(items) if i in frequent]  # repro: lint-ignore[RS103] order erased by the deterministic sort on the next line
         # Order by global frequency desc, ties broken deterministically.
         filtered.sort(key=lambda i: (-frequency[i], repr(i)))
         if filtered:

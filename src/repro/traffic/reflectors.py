@@ -10,6 +10,8 @@ breaks naive cross-IXP model transfer and what WoE re-localisation fixes.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.traffic.address_space import region_reflector_block
@@ -82,8 +84,12 @@ class ReflectorPool:
         if cached is not None:
             return cached
         previous = self.pool_at_epoch(name, epoch - 1)
+        # crc32, not hash(): str hashing is salted per interpreter, so
+        # hash(name) would give every process a different churn stream.
         rng = np.random.default_rng(
-            np.random.SeedSequence([self._seed, epoch, hash(name) & 0xFFFF])
+            np.random.SeedSequence(
+                [self._seed, epoch, zlib.crc32(name.encode()) & 0xFFFF]
+            )
         )
         pool = previous.copy()
         n_replace = int(round(self.churn_fraction * pool.shape[0]))

@@ -132,6 +132,67 @@ class TestStream:
         assert restarts, "supervised run printed no restart counter"
 
 
+class TestLint:
+    """``repro lint`` — the static-analysis front door."""
+
+    def test_clean_tree_exits_zero_human(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "module(s) scanned" in out
+
+    def test_json_schema(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+        assert set(payload["counts"]) == {
+            "findings", "suppressed", "baselined", "stale_baseline",
+        }
+        assert payload["modules_scanned"] > 100
+        assert "RS101" in payload["rules"]
+
+    def test_rule_and_path_filters(self, capsys):
+        assert main(
+            ["lint", "--rules", "RS301,RS302", "--no-baseline",
+             "src/repro/core"]
+        ) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--rules", "RS999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_findings_exit_nonzero(self, capsys, monkeypatch):
+        import repro.analysis
+        from repro.analysis import Finding, LintResult
+
+        fake = LintResult(
+            findings=[
+                Finding(rule="RS101", path="src/x.py", line=3, col=1,
+                        message="wall-clock read", symbol="f")
+            ],
+            modules_scanned=1,
+        )
+        monkeypatch.setattr(
+            repro.analysis, "run_lint", lambda *a, **k: fake
+        )
+        assert main(["lint"]) == 1
+        out = capsys.readouterr().out
+        assert "src/x.py:3:1 RS101" in out
+        assert "1 finding(s)" in out
+
+    def test_write_baseline_to_custom_path(self, capsys, tmp_path):
+        path = tmp_path / "bl.json"
+        assert main(
+            ["lint", "--baseline", str(path), "--write-baseline"]
+        ) == 0
+        assert "wrote 0" in capsys.readouterr().out
+        assert json.loads(path.read_text()) == {
+            "version": 1, "entries": [],
+        }
+
+
 class TestStreamBackendResolution:
     """Unit tests for the flag/env -> backend mapping (no workers spawned)."""
 
