@@ -15,6 +15,10 @@
   runs workers under the fault-tolerant supervisor of
   ``repro.core.resilience``; ``--faults`` / the ``REPRO_FAULTS``
   environment variable inject a deterministic chaos plan.
+  ``--agg sketch`` switches the counting path to mergeable sketches
+  (``repro.core.features.sketches``; tune with ``--sketch-eps`` /
+  ``--sketch-delta``, contract in ``docs/SKETCHES.md``) — mutually
+  exclusive with ``--check``, whose shadow expects exact verdicts.
 """
 
 from __future__ import annotations
@@ -45,6 +49,13 @@ def _nonnegative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _unit_interval(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError("must be in (0, 1)")
     return value
 
 
@@ -208,12 +219,46 @@ def _resolve_stream_backend(args: argparse.Namespace) -> tuple[str, dict]:
     return backend, options
 
 
+def _resolve_stream_agg(args: argparse.Namespace):
+    """Pick the aggregation mode + sketch parameters for ``repro stream``.
+
+    ``--sketch-eps`` / ``--sketch-delta`` only make sense with
+    ``--agg sketch``, and the ``--check`` equivalence shadow only with
+    exact aggregation (sketch verdicts are approximate by design), so
+    either combination is a usage error.
+    """
+    from repro.core.features.sketches import SketchParams
+
+    if args.agg != "sketch":
+        if args.sketch_eps is not None or args.sketch_delta is not None:
+            print(
+                "error: --sketch-eps/--sketch-delta require --agg sketch",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return None
+    if args.check:
+        print(
+            "error: --check requires exact aggregation; sketch-mode "
+            "verdicts are approximate and cannot match the serial shadow",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    overrides: dict = {}
+    if args.sketch_eps is not None:
+        overrides["epsilon"] = args.sketch_eps
+    if args.sketch_delta is not None:
+        overrides["delta"] = args.sketch_delta
+    return SketchParams(**overrides)
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     """Drive the sharded parallel engine; print the merged snapshot."""
     from repro.core.parallel import ShardedStreamingScrubber
     from repro.core.scrubber import ScrubberConfig
 
     backend, backend_options = _resolve_stream_backend(args)
+    sketch_params = _resolve_stream_agg(args)
     profile, capture = _stream_workload(args.days, args.seed)
     engine = ShardedStreamingScrubber(
         config=ScrubberConfig(model="XGB", model_params={"n_estimators": 10}),
@@ -221,6 +266,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         backend=backend,
         backend_options=backend_options,
         equivalence_check=True if args.check else None,
+        agg=args.agg,
+        sketch_params=sketch_params,
         window_days=2,
         bins_per_day=profile.bins_per_day,
         seed=1,
@@ -240,13 +287,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"quarantined, {counters.get('resilience.deadline_misses', 0)} "
             "deadline misses"
         )
+    sketch_note = ""
+    if sketch_params is not None:
+        gauges = {g["name"]: g["value"] for g in snap["gauges"]}
+        sketch_note = (
+            f"; sketch: eps={sketch_params.epsilon:g} "
+            f"delta={sketch_params.delta:g}, "
+            f"{gauges.get('sketch.memory_bytes', 0) / 1e6:.1f} MB state, "
+            f"flow overcount <= {gauges.get('sketch.error_bound', 0):,.0f}"
+        )
     _print_snapshot(
         snap,
         args.format,
         f"\n[streamed {len(capture.flows):,} flows -> {n_verdicts} verdicts "
         f"in {elapsed:.1f}s ({rate:,.0f} flows/s) across {args.shards} "
         f"{backend} shard(s); model ready: {engine.is_ready}"
-        f"{'; equivalence checked' if args.check else ''}{resilience_note}]",
+        f"{'; equivalence checked' if args.check else ''}"
+        f"{resilience_note}{sketch_note}]",
     )
     return 0
 
@@ -387,6 +444,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PLAN",
         help="deterministic fault-injection plan, e.g. "
         "'crash@0:batch=3;slow@*:secs=0.05' (default: $REPRO_FAULTS)",
+    )
+    stream_parser.add_argument(
+        "--agg",
+        choices=("exact", "sketch"),
+        default="exact",
+        help="aggregation mode: exact per-bin buffering (default) or "
+        "mergeable count-min sketches (docs/SKETCHES.md)",
+    )
+    stream_parser.add_argument(
+        "--sketch-eps",
+        type=_unit_interval,
+        metavar="EPS",
+        help="sketch mode: relative error bound epsilon (default 0.005)",
+    )
+    stream_parser.add_argument(
+        "--sketch-delta",
+        type=_unit_interval,
+        metavar="DELTA",
+        help="sketch mode: error-bound failure probability (default 0.01)",
     )
     stream_parser.add_argument(
         "--format",

@@ -1,6 +1,13 @@
 """Step 2 feature construction: per-target aggregation and rankings."""
 
 from repro.core.features.aggregation import AggregatedDataset, aggregate
+from repro.core.features.sketches import (
+    CardinalitySketch,
+    CountMinSketch,
+    SketchAggregator,
+    SketchParams,
+    sketch_aggregate,
+)
 from repro.core.features.schema import (
     CATEGORICALS,
     METRICS,
@@ -20,7 +27,12 @@ __all__ = [
     "METRICS",
     "MISSING_KEY",
     "RANKS",
+    "CardinalitySketch",
+    "CountMinSketch",
+    "SketchAggregator",
+    "SketchParams",
     "aggregate",
+    "sketch_aggregate",
     "all_columns",
     "key_column",
     "key_columns",

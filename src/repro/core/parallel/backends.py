@@ -24,6 +24,15 @@ All of them produce verdicts through the same
 :meth:`~repro.core.scrubber.IXPScrubber.classify_flows_batch` call, so
 backend choice can never change results — only where the work runs and
 how failures are handled.
+
+Sketch mode: when ``classify`` is called with ``agg`` (a
+:class:`~repro.core.features.sketches.SketchParams`), workers become
+pure *counters* — each builds a per-shard
+:class:`~repro.core.features.sketches.SketchAggregator` from its batch
+and replies with the picklable sketch state instead of verdicts; the
+coordinator merges states and scores the merged records. Sketch builds
+are deterministic functions of the batch, so retry-after-restart
+reproduces the identical state (see ``docs/SKETCHES.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import time
 from typing import Optional, Sequence
 
 from repro import obs
+from repro.core.features.sketches import SketchAggregator, SketchParams
 from repro.core.scrubber import IXPScrubber, TargetVerdict
 from repro.netflow.dataset import FlowDataset
 from repro.obs import names
@@ -80,24 +90,35 @@ class SerialBackend:
         self._assembler = scrubber.make_assembler()
 
     def classify(
-        self, shard_flows: Sequence[Optional[FlowDataset]], min_flows: int
-    ) -> list[list[TargetVerdict]]:
-        """Classify each shard's flow batch; one verdict list per shard."""
+        self,
+        shard_flows: Sequence[Optional[FlowDataset]],
+        min_flows: int,
+        agg: Optional[SketchParams] = None,
+    ) -> list:
+        """Classify each shard's flow batch; one reply per shard.
+
+        Exact mode (``agg=None``) replies with verdict lists; sketch
+        mode replies with per-shard sketch states for the coordinator
+        to merge (empty shards reply ``None``).
+        """
         if self._scrubber is None:
             raise RuntimeError("no model broadcast to shards yet")
-        out: list[list[TargetVerdict]] = []
+        out: list = []
         for shard, flows in enumerate(shard_flows):
             if flows is None or len(flows) == 0:
-                out.append([])
+                out.append(None if agg is not None else [])
                 continue
             with obs.use_registry(self.registries[shard]):
                 with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
                     obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
-                    out.append(
-                        self._scrubber.classify_flows_batch(
-                            flows, min_flows=min_flows, assembler=self._assembler
+                    if agg is not None:
+                        out.append(_sketch_shard_state(flows, agg))
+                    else:
+                        out.append(
+                            self._scrubber.classify_flows_batch(
+                                flows, min_flows=min_flows, assembler=self._assembler
+                            )
                         )
-                    )
         return out
 
     def snapshots(self) -> list[dict]:
@@ -106,6 +127,16 @@ class SerialBackend:
 
     def close(self) -> None:
         """Release backend resources (no-op for in-process shards)."""
+
+
+def _sketch_shard_state(flows: FlowDataset, agg: SketchParams) -> dict:
+    """Build one shard's sketch state from its flow batch.
+
+    A pure function of (batch, params): a retried batch — even on a
+    freshly restarted worker — reproduces the bitwise-identical state,
+    which is what keeps sketch-mode verdicts stable under faults.
+    """
+    return SketchAggregator(agg).absorb(flows).to_state()
 
 
 def _execute_fault(conn, directive) -> bool:
@@ -157,16 +188,20 @@ def _worker_main(conn, shard_index: int) -> None:
         elif kind == "classify":
             columns, min_flows = message[1], message[2]
             directive = message[3] if len(message) > 3 else None
+            agg = message[4] if len(message) > 4 else None
             if directive is not None and _execute_fault(conn, directive):
                 continue
             flows = FlowDataset(columns)
             with obs.use_registry(registry):
                 with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
                     obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
-                    verdicts = scrubber.classify_flows_batch(
-                        flows, min_flows=min_flows, assembler=assembler
-                    )
-            conn.send(verdicts)
+                    if agg is not None:
+                        reply = _sketch_shard_state(flows, agg)
+                    else:
+                        reply = scrubber.classify_flows_batch(
+                            flows, min_flows=min_flows, assembler=assembler
+                        )
+            conn.send(reply)
         elif kind == "snapshot":
             conn.send(obs.snapshot(registry))
     conn.close()
@@ -236,19 +271,29 @@ class ProcessBackend:
                 raise ShardFailure(shard, f"model broadcast failed: {exc}") from exc
 
     def classify(
-        self, shard_flows: Sequence[Optional[FlowDataset]], min_flows: int
-    ) -> list[list[TargetVerdict]]:
-        """Dispatch per-shard batches, then collect in shard order."""
+        self,
+        shard_flows: Sequence[Optional[FlowDataset]],
+        min_flows: int,
+        agg: Optional[SketchParams] = None,
+    ) -> list:
+        """Dispatch per-shard batches, then collect in shard order.
+
+        Sketch mode (``agg`` given) collects per-shard sketch states
+        instead of verdict lists; empty shards reply ``None``.
+        """
         active = []
         for shard, flows in enumerate(shard_flows):
             if flows is None or len(flows) == 0:
                 continue
             try:
-                self._conns[shard].send(("classify", flows.to_columns(), min_flows))
+                message = ("classify", flows.to_columns(), min_flows)
+                if agg is not None:
+                    message = message + (None, agg)
+                self._conns[shard].send(message)
             except (BrokenPipeError, OSError) as exc:
                 raise ShardFailure(shard, f"batch dispatch failed: {exc}") from exc
             active.append(shard)
-        out: list[list[TargetVerdict]] = [[] for _ in shard_flows]
+        out: list = [None if agg is not None else [] for _ in shard_flows]
         for shard in active:
             try:
                 out[shard] = self._conns[shard].recv()

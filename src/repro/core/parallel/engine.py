@@ -27,6 +27,7 @@ from typing import Iterable, Optional
 
 from repro import obs
 from repro.bgp.messages import Update
+from repro.core.features.sketches import SketchAggregator, SketchParams
 from repro.core.parallel.backends import make_backend
 from repro.core.parallel.sharding import ShardPlan
 from repro.core.scrubber import IXPScrubber, ScrubberConfig, TargetVerdict
@@ -34,7 +35,10 @@ from repro.core.streaming import ShardableEngine, StreamingScrubber
 from repro.netflow.dataset import FlowDataset
 from repro.obs import names
 
-__all__ = ["ShardedStreamingScrubber", "EquivalenceError"]
+#: Aggregation modes of the sharded engine (see docs/SKETCHES.md).
+AGG_MODES = ("exact", "sketch")
+
+__all__ = ["ShardedStreamingScrubber", "EquivalenceError", "AGG_MODES"]
 
 #: Environment switch that turns the equivalence shadow on by default.
 EQUIVALENCE_ENV = "REPRO_ENGINE_EQUIVALENCE"
@@ -93,7 +97,15 @@ class ShardedStreamingScrubber(ShardableEngine):
         Run a shadow serial engine on the same input and assert verdict
         equality on every call. Defaults to the
         ``REPRO_ENGINE_EQUIVALENCE`` environment switch. Debug aid —
-        it doubles the work.
+        it doubles the work. Exact mode only: sketch-mode verdicts are
+        approximate by design and would always diverge from the shadow.
+    agg / sketch_params:
+        Aggregation mode of the counting path. ``"exact"`` (default)
+        preserves today's outputs bit-for-bit; ``"sketch"`` turns the
+        workers into sketch counters whose states merge at the
+        coordinator (see :mod:`repro.core.features.sketches` and
+        ``docs/SKETCHES.md`` for the ε/δ accuracy contract the
+        ``sketch_params`` knob controls).
     """
 
     def __init__(
@@ -105,8 +117,18 @@ class ShardedStreamingScrubber(ShardableEngine):
         equivalence_check: Optional[bool] = None,
         registry: Optional[obs.MetricRegistry] = None,
         backend_options: Optional[dict] = None,
+        agg: str = "exact",
+        sketch_params: Optional[SketchParams] = None,
         **engine_kwargs,
     ):
+        if agg not in AGG_MODES:
+            raise ValueError(f"unknown agg mode {agg!r}; expected one of {AGG_MODES}")
+        if sketch_params is not None and agg != "sketch":
+            raise ValueError("sketch_params requires agg='sketch'")
+        self._sketch_params = (
+            (sketch_params or SketchParams()) if agg == "sketch" else None
+        )
+        self._coord_assembler = None
         self.plan = plan if plan is not None else ShardPlan(n_shards)
         self._inner = _CoordinatorEngine(
             self, config=config, registry=registry, **engine_kwargs
@@ -119,6 +141,11 @@ class ShardedStreamingScrubber(ShardableEngine):
         self._broadcast_model: Optional[IXPScrubber] = None
         if equivalence_check is None:
             equivalence_check = os.environ.get(EQUIVALENCE_ENV, "") not in ("", "0")
+        if equivalence_check and self._sketch_params is not None:
+            raise ValueError(
+                "equivalence_check requires exact aggregation: sketch-mode "
+                "verdicts are approximate and cannot match the serial shadow"
+            )
         self._shadow = (
             StreamingScrubber(config=config, **engine_kwargs)
             if equivalence_check
@@ -191,14 +218,44 @@ class ShardedStreamingScrubber(ShardableEngine):
                 self._backend.broadcast(scrubber)
                 self._broadcast_model = scrubber
                 obs.counter(names.C_PARALLEL_MODEL_BROADCASTS).inc()
+                if self._sketch_params is not None:
+                    self._coord_assembler = scrubber.make_assembler()
             results = self._backend.classify(
-                shard_flows, self._inner.min_flows_per_verdict
+                shard_flows,
+                self._inner.min_flows_per_verdict,
+                agg=self._sketch_params,
             )
             with obs.span(names.SPAN_PARALLEL_MERGE):
-                merged = [v for shard_verdicts in results for v in shard_verdicts]
-                merged.sort(key=lambda v: (v.bin, v.target_ip))
+                if self._sketch_params is not None:
+                    merged = self._merge_sketch_states(results, scrubber)
+                else:
+                    merged = [v for shard_verdicts in results for v in shard_verdicts]
+                    merged.sort(key=lambda v: (v.bin, v.target_ip))
             self._inner._count_verdicts(merged)
         return merged
+
+    def _merge_sketch_states(
+        self, states: list, scrubber: IXPScrubber
+    ) -> list[TargetVerdict]:
+        """Fold per-shard sketch states, build records once, score them.
+
+        The merge is elementwise integer addition (and register max)
+        over identically-seeded tables, so the folded state — and every
+        verdict derived from it — is bitwise independent of shard count
+        and merge order. Records come out ordered by (bin, target), the
+        same emission order the exact reducer sorts into.
+        """
+        merged = SketchAggregator(self._sketch_params)
+        for state in states:
+            if not state:
+                continue
+            merged.merge(SketchAggregator.from_state(state))
+        data = merged.build_records(min_flows=self._inner.min_flows_per_verdict)
+        verdicts = scrubber.classify_aggregated(
+            data, assembler=self._coord_assembler
+        )
+        verdicts.sort(key=lambda v: (v.bin, v.target_ip))
+        return verdicts
 
     # -- equivalence ----------------------------------------------------
     def _assert_equivalent(

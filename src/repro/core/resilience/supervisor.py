@@ -43,7 +43,8 @@ from collections import deque
 from typing import Optional, Sequence
 
 from repro import obs
-from repro.core.parallel.backends import ProcessBackend
+from repro.core.features.sketches import SketchParams
+from repro.core.parallel.backends import ProcessBackend, _sketch_shard_state
 from repro.core.resilience.faults import FaultPlan
 from repro.core.scrubber import IXPScrubber, TargetVerdict
 from repro.netflow.dataset import FlowDataset
@@ -161,13 +162,22 @@ class SupervisedProcessBackend(ProcessBackend):
 
     # -- classification -------------------------------------------------
     def classify(
-        self, shard_flows: Sequence[Optional[FlowDataset]], min_flows: int
-    ) -> list[list[TargetVerdict]]:
-        """Deadline-supervised dispatch/collect with retry and fallback."""
+        self,
+        shard_flows: Sequence[Optional[FlowDataset]],
+        min_flows: int,
+        agg: Optional[SketchParams] = None,
+    ) -> list:
+        """Deadline-supervised dispatch/collect with retry and fallback.
+
+        Sketch mode (``agg`` given) supervises identically — restarts,
+        quarantine and degradation all rebuild the shard's sketch state
+        in-process from the same batch, which reproduces the worker's
+        reply bit-for-bit (sketch builds are deterministic).
+        """
         if self._scrubber is None:
             raise RuntimeError("no model broadcast to shards yet")
         self._tick += 1
-        out: list[list[TargetVerdict]] = [[] for _ in shard_flows]
+        out: list = [None if agg is not None else [] for _ in shard_flows]
         pending: list[tuple[int, FlowDataset, int, int]] = []
         local: list[int] = []
         for shard, flows in enumerate(shard_flows):
@@ -178,15 +188,17 @@ class SupervisedProcessBackend(ProcessBackend):
             self._epoch_seq[shard] += 1
             if self._degraded[shard]:
                 local.append(shard)
-            elif self._dispatch(shard, flows, min_flows, run_seq, epoch_seq, 0):
+            elif self._dispatch(shard, flows, min_flows, run_seq, epoch_seq, 0, agg):
                 pending.append((shard, flows, run_seq, epoch_seq))
             else:
                 local.append(shard)  # degraded during dispatch
         # Degraded shards compute while live workers chew their batches.
         for shard in local:
-            out[shard] = self._classify_fallback(shard, shard_flows[shard], min_flows)
+            out[shard] = self._classify_fallback(
+                shard, shard_flows[shard], min_flows, agg
+            )
         for shard, flows, run_seq, epoch_seq in pending:
-            out[shard] = self._collect(shard, flows, min_flows, run_seq, epoch_seq)
+            out[shard] = self._collect(shard, flows, min_flows, run_seq, epoch_seq, agg)
         return out
 
     def _dispatch(
@@ -197,6 +209,7 @@ class SupervisedProcessBackend(ProcessBackend):
         run_seq: int,
         epoch_seq: int,
         attempt: int,
+        agg: Optional[SketchParams] = None,
     ) -> bool:
         """Send one classify request; False once the shard is degraded."""
         while not self._degraded[shard]:
@@ -211,9 +224,10 @@ class SupervisedProcessBackend(ProcessBackend):
                 if directive is not None:
                     obs.counter(names.C_RESILIENCE_FAULTS_INJECTED).inc()
             try:
-                self._conns[shard].send(
-                    ("classify", flows.to_columns(), min_flows, directive)
-                )
+                message = ("classify", flows.to_columns(), min_flows, directive)
+                if agg is not None:
+                    message = message + (agg,)
+                self._conns[shard].send(message)
                 return True
             except (BrokenPipeError, OSError):
                 if not self._restart_worker(shard, "pipe broke during dispatch"):
@@ -227,7 +241,8 @@ class SupervisedProcessBackend(ProcessBackend):
         min_flows: int,
         run_seq: int,
         epoch_seq: int,
-    ) -> list[TargetVerdict]:
+        agg: Optional[SketchParams] = None,
+    ):
         """Await one shard's reply, retrying through restarts."""
         attempt = 0
         while True:
@@ -236,14 +251,16 @@ class SupervisedProcessBackend(ProcessBackend):
                 return reply
             attempt += 1
             if self._degraded[shard]:
-                return self._classify_fallback(shard, flows, min_flows)
+                return self._classify_fallback(shard, flows, min_flows, agg)
             if attempt >= self.batch_attempts:
-                return self._quarantine(shard, flows, min_flows)
+                return self._quarantine(shard, flows, min_flows, agg)
             obs.counter(names.C_RESILIENCE_BATCH_RETRIES).inc()
             if self.retry_backoff > 0:
                 time.sleep(self.retry_backoff * attempt)
-            if not self._dispatch(shard, flows, min_flows, run_seq, epoch_seq, attempt):
-                return self._classify_fallback(shard, flows, min_flows)
+            if not self._dispatch(
+                shard, flows, min_flows, run_seq, epoch_seq, attempt, agg
+            ):
+                return self._classify_fallback(shard, flows, min_flows, agg)
 
     def _await_reply(self, shard: int):
         """One deadline-bounded read; ``_FAILED`` (+ restart) on trouble."""
@@ -327,12 +344,17 @@ class SupervisedProcessBackend(ProcessBackend):
 
     # -- in-process fallback --------------------------------------------
     def _classify_fallback(
-        self, shard: int, flows: FlowDataset, min_flows: int
-    ) -> list[TargetVerdict]:
-        """Classify a shard batch in the coordinator process.
+        self,
+        shard: int,
+        flows: FlowDataset,
+        min_flows: int,
+        agg: Optional[SketchParams] = None,
+    ):
+        """Handle a shard batch in the coordinator process.
 
         Identical code path to the workers (and the serial engine):
-        ``classify_flows_batch`` with a frozen-WoE assembler — which is
+        ``classify_flows_batch`` with a frozen-WoE assembler in exact
+        mode, the shared sketch-state builder in sketch mode — which is
         why degraded and quarantined batches keep verdicts bit-identical.
         """
         scrubber = self._scrubber
@@ -342,21 +364,27 @@ class SupervisedProcessBackend(ProcessBackend):
         with obs.use_registry(self._fallback_registries[shard]):
             with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
                 obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
+                if agg is not None:
+                    return _sketch_shard_state(flows, agg)
                 return scrubber.classify_flows_batch(
                     flows, min_flows=min_flows, assembler=self._fallback_assembler
                 )
 
     def _quarantine(
-        self, shard: int, flows: FlowDataset, min_flows: int
-    ) -> list[TargetVerdict]:
-        """Poison batch: classify in-process and record the quarantine."""
+        self,
+        shard: int,
+        flows: FlowDataset,
+        min_flows: int,
+        agg: Optional[SketchParams] = None,
+    ):
+        """Poison batch: handle in-process and record the quarantine."""
         obs.counter(names.C_RESILIENCE_BATCHES_QUARANTINED).inc()
         log.error(
             "shard %d: batch of %d flows killed its worker %d time(s); "
             "quarantining — classifying in the coordinator process",
             shard, len(flows), self.batch_attempts,
         )
-        return self._classify_fallback(shard, flows, min_flows)
+        return self._classify_fallback(shard, flows, min_flows, agg)
 
     # -- observability --------------------------------------------------
     def snapshots(self) -> list[dict]:

@@ -209,6 +209,21 @@ class IXPScrubber:
         )
         if min_flows > 1:
             data = data.select(data.n_flows >= min_flows)
+        return self.classify_aggregated(data, threshold=threshold, assembler=assembler)
+
+    def classify_aggregated(
+        self,
+        data: AggregatedDataset,
+        threshold: float = 0.5,
+        assembler: MatrixAssembler | None = None,
+    ) -> list[TargetVerdict]:
+        """Score already-aggregated records into per-target verdicts.
+
+        The scoring tail of :meth:`classify_flows_batch`, shared with
+        the sketch-mode coordinator of :mod:`repro.core.parallel`,
+        which builds its records from merged worker sketches instead of
+        aggregating raw flows.
+        """
         if len(data) == 0:
             return []
         if assembler is None:

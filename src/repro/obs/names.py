@@ -51,6 +51,9 @@ C_RESILIENCE_BATCH_RETRIES = "resilience.batch_retries"
 C_RESILIENCE_BATCHES_QUARANTINED = "resilience.batches_quarantined"
 C_RESILIENCE_DEADLINE_MISSES = "resilience.deadline_misses"
 C_RESILIENCE_FAULTS_INJECTED = "resilience.faults_injected"
+C_SKETCH_FLOWS_ABSORBED = "sketch.flows_absorbed"
+C_SKETCH_MERGES = "sketch.merges"
+C_SKETCH_RECORDS_BUILT = "sketch.records_built"
 
 # -- gauges ------------------------------------------------------------
 G_STREAMING_TRAINING_FLOWS = "streaming.training_flows"
@@ -61,6 +64,8 @@ G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
 G_MODELS_ENSEMBLE_NODES = "models.ensemble_nodes"
 G_PARALLEL_SHARDS = "parallel.shards"
 G_RESILIENCE_DEGRADED_SHARDS = "resilience.degraded_shards"
+G_SKETCH_MEMORY_BYTES = "sketch.memory_bytes"
+G_SKETCH_ERROR_BOUND = "sketch.error_bound"
 
 # -- spans (histograms of seconds) -------------------------------------
 SPAN_STREAMING_INGEST = "streaming.ingest"
@@ -86,6 +91,9 @@ SPAN_RESILIENCE_RESTART = "resilience.restart_worker"
 SPAN_DRIFT_ONE_SHOT = "drift.one_shot"
 SPAN_DRIFT_SLIDING_WINDOW = "drift.sliding_window"
 SPAN_DRIFT_TRANSFER = "drift.transfer"
+SPAN_SKETCH_INGEST = "sketch.ingest"
+SPAN_SKETCH_MERGE = "sketch.merge"
+SPAN_SKETCH_BUILD = "sketch.build_records"
 
 ALL_COUNTERS: tuple[str, ...] = tuple(
     v for k, v in sorted(globals().items()) if k.startswith("C_")

@@ -116,6 +116,44 @@ def labeled_flows(
     return data
 
 
+def wide_flows(
+    rng: np.random.Generator,
+    n_targets: int = 5000,
+    flows_per_target: int = 2,
+    n_bins: int = 1,
+    start_bin: int = 0,
+) -> FlowDataset:
+    """Carpet-bombing-shaped workload: a huge sparse target fan-out.
+
+    Every target lives in its own /24 and receives about
+    ``flows_per_target`` small flows — the distinct-target regime whose
+    exact per-bin buffers grow linearly and whose sketch-mode state does
+    not (the memory math in ``docs/SKETCHES.md``).
+    """
+    if n_targets < 1 or flows_per_target < 1 or n_bins < 1:
+        raise ValueError("n_targets, flows_per_target and n_bins must be >= 1")
+    hosts = rng.integers(1, 255, size=n_targets, dtype=np.uint32)
+    targets = 0x0A000000 + (np.arange(n_targets, dtype=np.uint32) << 8) + hosts
+    n_flows = n_targets * flows_per_target
+    dst_ip = np.repeat(targets, flows_per_target)
+    packets = rng.integers(1, 12, size=n_flows, dtype=np.int64)
+    time = start_bin * 60 + rng.integers(0, n_bins * 60, size=n_flows)
+    return FlowDataset(
+        {
+            "time": np.sort(time),
+            "src_ip": rng.integers(1, 2**32 - 1, size=n_flows, dtype=np.uint32),
+            "dst_ip": dst_ip,
+            "src_port": rng.integers(1024, 65535, size=n_flows).astype(np.uint16),
+            "dst_port": rng.integers(1, 65535, size=n_flows).astype(np.uint16),
+            "protocol": rng.choice((6, 17), size=n_flows).astype(np.uint8),
+            "packets": packets,
+            "bytes": packets * rng.integers(60, 1500, size=n_flows),
+            "src_mac": rng.integers(1, 64, size=n_flows, dtype=np.uint64),
+            "blackhole": rng.random(n_flows) < 0.1,
+        }
+    )
+
+
 def tagging_rules(
     rng: np.random.Generator, n_rules: int = 4
 ) -> list[TaggingRule]:

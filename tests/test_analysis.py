@@ -129,9 +129,33 @@ CORPUS = {
             def stable(xs, hash=None):
                 return hash(xs) if hash else 0
             """,
+        # Sketch worker state: the per-worker counting path must keep
+        # all mutation on instance state (negative); a module-global
+        # sketch cache written on the worker path is a race (positive).
+        "repro/core/features/__init__.py": "",
+        "repro/core/features/sketches.py": """\
+            SKETCH_CACHE = {}
+
+
+            class BinSketch:
+                def __init__(self):
+                    self.table = [0] * 4
+
+                def absorb(self, key):
+                    SKETCH_CACHE[key] = key
+                    self.table[key % 4] += 1
+                    return self.table
+
+
+            def coordinator_merge(state):
+                SKETCH_CACHE.clear()
+                return state
+            """,
         # The shard-safety showcase.
         "repro/core/parallel/__init__.py": "",
         "repro/core/parallel/backends.py": """\
+            from repro.core.features.sketches import BinSketch
+
             SHARED = {}
             TOTALS = 0
 
@@ -173,6 +197,8 @@ CORPUS = {
             def _worker_main(conn):
                 w = Worker()
                 SHARED["x"] = 1
+                sketch = BinSketch()
+                sketch.absorb(2)
                 return w.handle(1)
 
 
@@ -372,9 +398,12 @@ def test_rs104_salted_hash(corpus):
 def test_rs201_module_global_writes(corpus):
     _, result = corpus
     backends = "repro/core/parallel/backends.py"
+    sketches = "repro/core/features/sketches.py"
     assert hits(result, "RS201") == {
         (src(backends), line_of(backends, "TOTALS += 1")),
         (src(backends), line_of(backends, 'SHARED["x"] = 1')),
+        # Worker-reachable write to the module-global sketch cache.
+        (src(sketches), line_of(sketches, "SKETCH_CACHE[key] = key")),
     }
     # Negative: the same global write in a function the worker never
     # reaches is not a race.
@@ -382,6 +411,24 @@ def test_rs201_module_global_writes(corpus):
         src(backends),
         line_of(backends, "TOTALS = 0"),
     ) not in hits(result, "RS201")
+    # Negatives: the sketch's own table is instance state (worker-
+    # owned), and the coordinator-side merge never runs in a worker.
+    sketch_hits = {
+        f.line for f in result.findings if f.path == src(sketches)
+    }
+    assert line_of(sketches, "self.table[key % 4] += 1") not in sketch_hits
+    assert line_of(sketches, "SKETCH_CACHE.clear()") not in sketch_hits
+
+
+def test_rs201_sketch_chain_names_the_route(corpus):
+    _, result = corpus
+    sketches = src("repro/core/features/sketches.py")
+    (finding,) = [
+        f for f in result.findings
+        if f.rule == "RS201" and f.path == sketches
+    ]
+    assert "_worker_main" in finding.message
+    assert "absorb" in finding.message
 
 
 def test_rs202_class_attribute_writes(corpus):

@@ -33,7 +33,11 @@ def test_unknown_experiment_exits_2(capsys):
                                  ["stream", "--faults", "explode@0"],
                                  ["stream", "--faults", "crash@x"],
                                  ["stream", "--shard-timeout", "0"],
-                                 ["stream", "--max-restarts", "-1"]])
+                                 ["stream", "--max-restarts", "-1"],
+                                 ["stream", "--agg", "hll"],
+                                 ["stream", "--sketch-eps", "0"],
+                                 ["stream", "--sketch-eps", "1.5"],
+                                 ["stream", "--sketch-delta", "-0.1"]])
 def test_invalid_arguments_exit_2(bad, capsys):
     with pytest.raises(SystemExit) as exc:
         main(bad)
@@ -107,6 +111,29 @@ class TestStream:
             main(["stream", "--days", "1", "--faults", "crash@0"])
         assert exc.value.code == 2
         assert "--backend process or supervised" in capsys.readouterr().err
+
+    def test_sketch_flags_require_sketch_mode(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--days", "1", "--sketch-eps", "0.01"])
+        assert exc.value.code == 2
+        assert "require --agg sketch" in capsys.readouterr().err
+
+    def test_check_rejects_sketch_mode(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--days", "1", "--agg", "sketch", "--check"])
+        assert exc.value.code == 2
+        assert "exact aggregation" in capsys.readouterr().err
+
+    def test_sketch_mode_runs_and_reports(self, capsys):
+        assert main(
+            ["stream", "--days", "1", "--shards", "2", "--agg", "sketch",
+             "--sketch-eps", "0.01", "--sketch-delta", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sketch.flows_absorbed" in out
+        assert "sketch.merges" in out
+        assert "sketch: eps=0.01 delta=0.02" in out
+        assert "MB state" in out
 
     def test_faults_upgrade_process_to_supervised_chaos_run(self, capsys):
         """The acceptance scenario: seeded crash per epoch, zero drift.

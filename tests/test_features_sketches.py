@@ -1,0 +1,420 @@
+"""Property tests for ``repro.core.features.sketches``.
+
+Three layers of guarantees, each asserted over seeded strategy draws:
+
+* **Accuracy contract** — count-min estimates are one-sided
+  (``est >= true`` always) and the overshoot exceeds
+  ``epsilon * N`` with empirical frequency at most ``delta``; the
+  cardinality estimator lands within HLL tolerance. These are the
+  formulas ``docs/SKETCHES.md`` documents.
+* **Merge algebra** — merges are associative, commutative and *bitwise*
+  partition-independent: any target-disjoint sharding of a stream folds
+  back to the identical tables, candidate sets and built records.
+* **Engine integration** — sketch-mode verdicts are identical across
+  shard counts and backends, survive supervised worker crashes, and
+  exact mode stays the bit-identical default.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from tests import strategies
+from repro.core.features.aggregation import aggregate_batch
+from repro.core.features.sketches import (
+    CardinalitySketch,
+    CountMinSketch,
+    SketchAggregator,
+    SketchParams,
+    sketch_aggregate,
+)
+from repro.core.features import schema
+from repro.core.labeling.balancer import balance
+from repro.core.parallel import ShardPlan, ShardedStreamingScrubber
+from repro.core.resilience import FaultPlan
+from repro.core.scrubber import IXPScrubber, ScrubberConfig
+
+ENGINE_KWARGS = dict(
+    window_days=2,
+    bins_per_day=48,
+    min_flows_per_verdict=3,
+    label_grace_bins=10**6,
+    seed=1,
+)
+
+
+def assert_records_equal(a, b):
+    """Bitwise equality of two AggregatedDatasets (NaN == NaN)."""
+    assert np.array_equal(a.bins, b.bins)
+    assert np.array_equal(a.targets, b.targets)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.array_equal(a.n_flows, b.n_flows)
+    for name in schema.key_columns():
+        assert np.array_equal(a.categorical[name], b.categorical[name]), name
+    for name in schema.value_columns():
+        assert np.array_equal(
+            a.metrics[name], b.metrics[name], equal_nan=True
+        ), name
+
+
+def _key_stream(rng, n_keys=300, max_count=40):
+    """(keys, counts, shuffled update stream) for count-min tests."""
+    keys = rng.choice(2**32, size=n_keys, replace=False).astype(np.uint64)
+    counts = rng.integers(1, max_count, size=n_keys)
+    stream = np.repeat(keys, counts)
+    rng.shuffle(stream)
+    return keys, counts.astype(np.int64), stream
+
+
+class TestSketchParams:
+    def test_width_depth_follow_textbook_formulas(self):
+        params = SketchParams(epsilon=0.01, delta=0.01)
+        assert params.width == int(np.ceil(np.e / 0.01))
+        assert params.depth == int(np.ceil(np.log(1.0 / 0.01)))
+        assert params.error_bound(1000) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": 1.0},
+            {"delta": 0.0},
+            {"delta": 1.5},
+            {"hh_capacity": 0},
+            {"key_capacity": schema.RANKS - 1},
+            {"cardinality_registers": 48},
+            {"cardinality_registers": 8},
+            {"cardinality_depth": 0},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            SketchParams(**kwargs)
+
+
+class TestCountMinSketch:
+    def test_one_sided_and_epsilon_delta_bound(self):
+        """The documented contract: est >= true always, and
+        P[est - true > epsilon * N] <= delta (empirically per seed)."""
+        params = SketchParams(epsilon=0.01, delta=0.01)
+        for seed in range(5):
+            rng = strategies.rng_for(seed)
+            keys, counts, stream = _key_stream(rng)
+            cms = CountMinSketch(params.width, params.depth, seed=seed)
+            cms.update(stream)
+            assert cms.total == stream.shape[0]
+            est = cms.query(keys)
+            overshoot = est - counts
+            assert (overshoot >= 0).all(), "count-min must never undercount"
+            bound = params.error_bound(cms.total)
+            assert np.mean(overshoot > bound) <= params.delta, seed
+
+    def test_weighted_queries_are_one_sided_too(self):
+        rng = strategies.rng_for(11)
+        keys, _, stream = _key_stream(rng)
+        weights = rng.integers(1, 1500, size=stream.shape[0])
+        cms = CountMinSketch(512, 4, seed=3)
+        cms.update(stream, weights)
+        true = np.zeros(keys.shape[0], dtype=np.int64)
+        for i, k in enumerate(keys.tolist()):
+            true[i] = int(weights[stream == k].sum())
+        assert (cms.query(keys) >= true).all()
+        assert cms.total == int(weights.sum())
+
+    def test_merge_is_bitwise_partition_independent(self):
+        for seed in range(4):
+            rng = strategies.rng_for(100 + seed)
+            _, _, stream = _key_stream(rng)
+            whole = CountMinSketch(256, 4, seed=seed)
+            whole.update(stream)
+            cut1, cut2 = len(stream) // 3, 2 * len(stream) // 3
+            parts = []
+            for chunk in (stream[:cut1], stream[cut1:cut2], stream[cut2:]):
+                part = CountMinSketch(256, 4, seed=seed)
+                part.update(chunk)
+                parts.append(part)
+            a, b, c = parts
+            # (a + b) + c, folded left to right.
+            left = CountMinSketch(256, 4, seed=seed)
+            for p in (a, b, c):
+                left.merge(p)
+            assert np.array_equal(left.table, whole.table)
+            assert left.total == whole.total
+            # c + (b + a): a different order, the same bits.
+            right = CountMinSketch(256, 4, seed=seed)
+            for p in (c, b, a):
+                right.merge(p)
+            assert np.array_equal(right.table, whole.table)
+
+    def test_merge_rejects_geometry_and_seed_mismatch(self):
+        base = CountMinSketch(128, 4, seed=1)
+        for other in (
+            CountMinSketch(64, 4, seed=1),
+            CountMinSketch(128, 3, seed=1),
+            CountMinSketch(128, 4, seed=2),
+        ):
+            with pytest.raises(ValueError):
+                base.merge(other)
+
+    def test_state_round_trip_through_pickle(self):
+        rng = strategies.rng_for(5)
+        _, _, stream = _key_stream(rng)
+        cms = CountMinSketch(128, 4, seed=9)
+        cms.update(stream)
+        clone = CountMinSketch.from_state(pickle.loads(pickle.dumps(cms.to_state())))
+        assert np.array_equal(clone.table, cms.table)
+        assert (clone.width, clone.depth, clone.seed, clone.total) == (
+            cms.width, cms.depth, cms.seed, cms.total
+        )
+
+
+class TestCardinalitySketch:
+    def test_estimates_track_distinct_counts(self):
+        rng = strategies.rng_for(21)
+        sketch = CardinalitySketch(width=256, depth=2, registers=256, seed=4)
+        truths = {1: 2000, 2: 400, 3: 50}
+        for key, n in truths.items():
+            items = rng.choice(2**48, size=n, replace=False).astype(np.uint64)
+            sketch.update(np.full(n, key, dtype=np.uint64), items)
+        keys = np.array(sorted(truths), dtype=np.uint64)
+        est = sketch.query(keys)
+        for value, true in zip(est, (truths[k] for k in sorted(truths))):
+            assert value == pytest.approx(true, rel=0.3)
+
+    def test_merge_is_register_max_and_commutative(self):
+        rng = strategies.rng_for(22)
+        items = rng.choice(2**48, size=1500, replace=False).astype(np.uint64)
+        key = np.full(1000, 7, dtype=np.uint64)
+
+        def build(chunk):
+            s = CardinalitySketch(width=64, depth=2, registers=128, seed=4)
+            s.update(key, chunk)
+            return s
+
+        a, b = build(items[:1000]), build(items[500:])  # overlapping halves
+        ab = build(items[:1000]).merge(b)
+        ba = build(items[500:]).merge(a)
+        assert np.array_equal(ab.table, ba.table)
+        assert np.array_equal(ab.table, np.maximum(a.table, b.table))
+        # The union (1500 distinct) dominates either half's estimate.
+        est = ab.query(np.array([7], dtype=np.uint64))[0]
+        assert est == pytest.approx(1500, rel=0.3)
+
+    def test_merge_rejects_mismatch(self):
+        base = CardinalitySketch(64, 2, 64, seed=1)
+        with pytest.raises(ValueError):
+            base.merge(CardinalitySketch(64, 2, 128, seed=1))
+        with pytest.raises(ValueError):
+            base.merge(CardinalitySketch(64, 2, 64, seed=2))
+
+
+class TestSketchAggregator:
+    PARAMS = SketchParams(epsilon=0.002)
+
+    def test_build_matches_exact_aggregation_schema(self):
+        for seed in range(3):
+            flows = strategies.flows(
+                strategies.rng_for(seed), n_flows=1500, n_targets=16, n_bins=3
+            )
+            exact = aggregate_batch(flows)
+            sketch = sketch_aggregate(flows, self.PARAMS)
+            # Identical record identity: same (bin, target) rows in the
+            # same order, the same blackhole labels.
+            assert np.array_equal(sketch.bins, exact.bins)
+            assert np.array_equal(sketch.targets, exact.targets)
+            assert np.array_equal(sketch.labels, exact.labels)
+            assert sketch.rule_tags is None
+
+    def test_flow_estimates_bound_the_truth(self):
+        for seed in range(3):
+            flows = strategies.flows(
+                strategies.rng_for(30 + seed), n_flows=2000, n_targets=12, n_bins=2
+            )
+            exact = aggregate_batch(flows)
+            agg = SketchAggregator(self.PARAMS).absorb(flows)
+            sketch = agg.build_records()
+            overshoot = sketch.n_flows - exact.n_flows
+            assert (overshoot >= 0).all()
+            assert overshoot.max() <= max(1.0, agg.error_bound())
+
+    def test_partition_invariance_bitwise(self):
+        """The tentpole property: any target-disjoint sharding folds
+        back to bit-identical records, in any merge order."""
+        flows = strategies.flows(
+            strategies.rng_for(40), n_flows=2500, n_targets=24, n_bins=3
+        )
+        whole = SketchAggregator(self.PARAMS).absorb(flows).build_records()
+        for n_shards in (2, 3, 5):
+            parts = ShardPlan(n_shards).split(flows)
+            shards = [
+                SketchAggregator(self.PARAMS).absorb(p) for p in parts if len(p)
+            ]
+            folded = SketchAggregator(self.PARAMS)
+            for s in shards:
+                folded.merge(s)
+            assert_records_equal(folded.build_records(), whole)
+            reverse = SketchAggregator(self.PARAMS)
+            for s in [
+                SketchAggregator(self.PARAMS).absorb(p)
+                for p in reversed(ShardPlan(n_shards).split(flows))
+                if len(p)
+            ]:
+                reverse.merge(s)
+            assert_records_equal(reverse.build_records(), whole)
+
+    def test_chunked_ingest_equals_one_shot(self):
+        flows = strategies.flows(
+            strategies.rng_for(41), n_flows=1800, n_targets=20, n_bins=2
+        )
+        whole = SketchAggregator(self.PARAMS).absorb(flows).build_records()
+        chunked = SketchAggregator(self.PARAMS)
+        idx = np.arange(len(flows))
+        for lo in range(0, len(flows), 257):
+            chunked.absorb(flows.select((idx >= lo) & (idx < lo + 257)))
+        assert_records_equal(chunked.build_records(), whole)
+
+    def test_state_round_trip_preserves_records(self):
+        flows = strategies.flows(
+            strategies.rng_for(42), n_flows=1200, n_targets=10, n_bins=2
+        )
+        agg = SketchAggregator(self.PARAMS).absorb(flows)
+        clone = SketchAggregator.from_state(pickle.loads(pickle.dumps(agg.to_state())))
+        assert_records_equal(clone.build_records(), agg.build_records())
+
+    def test_min_flows_filters_records(self):
+        flows = strategies.flows(
+            strategies.rng_for(43), n_flows=800, n_targets=12, n_bins=2
+        )
+        agg = SketchAggregator(self.PARAMS).absorb(flows)
+        assert (agg.build_records(min_flows=20).n_flows >= 20).all()
+        assert len(agg.build_records(min_flows=10**9)) == 0
+
+    def test_hh_capacity_keeps_heaviest_targets(self):
+        flows = strategies.wide_flows(
+            strategies.rng_for(44), n_targets=200, flows_per_target=3
+        )
+        capped = SketchParams(hh_capacity=50)
+        data = SketchAggregator(capped).absorb(flows).build_records()
+        assert len(data) <= 50
+
+    def test_merge_rejects_parameter_mismatch(self):
+        with pytest.raises(ValueError):
+            SketchAggregator(SketchParams(epsilon=0.01)).merge(
+                SketchAggregator(SketchParams(epsilon=0.02))
+            )
+
+    def test_memory_is_sublinear_in_targets(self):
+        """10x the distinct targets must not 10x the sketch state."""
+        small = strategies.wide_flows(
+            strategies.rng_for(45), n_targets=300, flows_per_target=2
+        )
+        large = strategies.wide_flows(
+            strategies.rng_for(46), n_targets=3000, flows_per_target=2
+        )
+        params = SketchParams(hh_capacity=300)
+        mem_small = SketchAggregator(params).absorb(small).memory_bytes()
+        mem_large = SketchAggregator(params).absorb(large).memory_bytes()
+        assert mem_large < 2 * mem_small
+
+
+@pytest.fixture(scope="module")
+def fitted_scrubber() -> IXPScrubber:
+    rng = strategies.rng_for(999)
+    labeled = strategies.labeled_flows(rng, n_flows=6000, n_targets=12, n_bins=20)
+    balanced = balance(labeled, np.random.default_rng(7)).flows
+    config = ScrubberConfig(model="XGB", model_params={"n_estimators": 10})
+    return IXPScrubber(config).fit(balanced)
+
+
+@pytest.fixture()
+def workload():
+    return strategies.labeled_flows(
+        strategies.rng_for(7), n_flows=400, n_targets=10, n_bins=4
+    )
+
+
+def _run_engine(fitted, workload, **kwargs):
+    engine = ShardedStreamingScrubber(**{**ENGINE_KWARGS, **kwargs}).warm_start(
+        fitted
+    )
+    try:
+        verdicts = engine.ingest(workload) + engine.flush()
+        snap = engine.merged_snapshot()
+    finally:
+        engine.close()
+    return verdicts, snap
+
+
+class TestSketchEngine:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="agg mode"):
+            ShardedStreamingScrubber(agg="hll", **ENGINE_KWARGS)
+        with pytest.raises(ValueError, match="sketch_params"):
+            ShardedStreamingScrubber(
+                sketch_params=SketchParams(), **ENGINE_KWARGS
+            )
+        with pytest.raises(ValueError, match="equivalence_check"):
+            ShardedStreamingScrubber(
+                agg="sketch", equivalence_check=True, **ENGINE_KWARGS
+            )
+
+    def test_verdicts_identical_across_shard_counts(self, fitted_scrubber, workload):
+        runs = {
+            n: _run_engine(
+                fitted_scrubber, workload, n_shards=n, agg="sketch"
+            )[0]
+            for n in (1, 2, 4)
+        }
+        assert runs[1], "sketch mode produced no verdicts"
+        assert runs[2] == runs[1]
+        assert runs[4] == runs[1]
+        # Verdicts are about the same records the exact engine scores.
+        exact, _ = _run_engine(fitted_scrubber, workload, n_shards=2)
+        assert [(v.bin, v.target_ip) for v in runs[1]] == [
+            (v.bin, v.target_ip) for v in exact
+        ]
+
+    def test_process_backend_matches_serial(self, fitted_scrubber, workload):
+        serial, _ = _run_engine(fitted_scrubber, workload, n_shards=2, agg="sketch")
+        process, _ = _run_engine(
+            fitted_scrubber, workload, n_shards=2, agg="sketch", backend="process"
+        )
+        assert process == serial
+
+    def test_sketch_state_survives_worker_crash(self, fitted_scrubber, workload):
+        """Supervised restart + re-dispatch reproduces the identical
+        sketch state: verdicts match the fault-free run, with restarts."""
+        serial, _ = _run_engine(fitted_scrubber, workload, n_shards=2, agg="sketch")
+        chaos, snap = _run_engine(
+            fitted_scrubber,
+            workload,
+            n_shards=2,
+            agg="sketch",
+            backend="supervised",
+            backend_options={
+                "fault_plan": FaultPlan.parse("crash@0:batch=1:count=1"),
+                "shard_timeout": 30.0,
+                "retry_backoff": 0.0,
+            },
+        )
+        assert chaos == serial
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        assert counters.get("resilience.worker_restarts", 0) >= 1
+
+    def test_sketch_metrics_appear_in_snapshot(self, fitted_scrubber, workload):
+        _, snap = _run_engine(fitted_scrubber, workload, n_shards=2, agg="sketch")
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        gauges = {g["name"] for g in snap["gauges"]}
+        assert counters.get("sketch.flows_absorbed", 0) > 0
+        assert counters.get("sketch.merges", 0) >= 1
+        assert counters.get("sketch.records_built", 0) > 0
+        assert {"sketch.memory_bytes", "sketch.error_bound"} <= gauges
+
+    def test_rule_tags_empty_in_sketch_mode(self, fitted_scrubber, workload):
+        verdicts, _ = _run_engine(
+            fitted_scrubber, workload, n_shards=2, agg="sketch"
+        )
+        assert all(v.matched_rules == () for v in verdicts)
