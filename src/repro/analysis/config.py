@@ -35,9 +35,10 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     "experiments": frozenset(
         {"core", "ixp", "netflow", "bgp", "traffic", "obs"}
     ),
+    "scenarios": frozenset({"core", "netflow", "bgp", "traffic", "obs"}),
     "cli": frozenset(
         {"core", "experiments", "ixp", "netflow", "bgp", "traffic", "obs",
-         "analysis"}
+         "analysis", "scenarios"}
     ),
 }
 
@@ -63,7 +64,9 @@ class LintConfig:
     clock_exempt: tuple[str, ...] = ("repro.obs",)
     #: Module prefixes where set-iteration order matters (RS103 scope):
     #: layers whose outputs feed serialization, hashing, or verdicts.
-    set_iter_scopes: tuple[str, ...] = ("repro.core", "repro.netflow")
+    set_iter_scopes: tuple[str, ...] = (
+        "repro.core", "repro.netflow", "repro.scenarios"
+    )
     #: Qualified names of the functions that run inside shard workers;
     #: the race detector's call-graph roots.
     worker_entry_points: tuple[str, ...] = (

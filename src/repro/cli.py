@@ -18,7 +18,11 @@
   ``--agg sketch`` switches the counting path to mergeable sketches
   (``repro.core.features.sketches``; tune with ``--sketch-eps`` /
   ``--sketch-delta``, contract in ``docs/SKETCHES.md``) — mutually
-  exclusive with ``--check``, whose shadow expects exact verdicts.
+  exclusive with ``--check``, whose shadow expects exact verdicts;
+* ``repro scenarios list`` / ``repro scenarios run --scenario NAME``
+  drive the seeded operational scenarios of ``repro.scenarios``
+  end-to-end and print (or ``--json``-dump) the oracle scorecard;
+  exit status 1 means the oracle checks failed.
 """
 
 from __future__ import annotations
@@ -225,9 +229,13 @@ def _resolve_stream_agg(args: argparse.Namespace):
     ``--sketch-eps`` / ``--sketch-delta`` only make sense with
     ``--agg sketch``, and the ``--check`` equivalence shadow only with
     exact aggregation (sketch verdicts are approximate by design), so
-    either combination is a usage error.
+    either combination is a usage error — including the shadow being
+    switched on implicitly through ``REPRO_ENGINE_EQUIVALENCE``.
     """
+    import os
+
     from repro.core.features.sketches import SketchParams
+    from repro.core.parallel.engine import EQUIVALENCE_ENV
 
     if args.agg != "sketch":
         if args.sketch_eps is not None or args.sketch_delta is not None:
@@ -237,9 +245,10 @@ def _resolve_stream_agg(args: argparse.Namespace):
             )
             raise SystemExit(2)
         return None
-    if args.check:
+    if args.check or os.environ.get(EQUIVALENCE_ENV, "") not in ("", "0"):
+        source = "--check" if args.check else f"{EQUIVALENCE_ENV}=1"
         print(
-            "error: --check requires exact aggregation; sketch-mode "
+            f"error: {source} requires exact aggregation; sketch-mode "
             "verdicts are approximate and cannot match the serial shadow",
             file=sys.stderr,
         )
@@ -308,6 +317,73 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(_: argparse.Namespace) -> int:
+    from repro.scenarios import all_scenarios
+
+    for scenario in all_scenarios():
+        print(f"{scenario.name:18s} {scenario.summary}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    """Conduct one scenario; print its scorecard. Exit 1 on oracle fail."""
+    from repro.core.resilience import FaultPlan
+    from repro.scenarios import get_scenario, run_scenario, scorecard_json
+
+    try:
+        get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    backend_options: dict = {}
+    if args.backend == "supervised":
+        backend_options["fault_plan"] = FaultPlan.from_env()
+    result = run_scenario(
+        args.scenario,
+        seed=args.seed,
+        scale=args.scale,
+        shards=args.shards,
+        backend=args.backend,
+        agg=args.agg,
+        backend_options=backend_options,
+    )
+    scorecard = result.scorecard
+    rendered = scorecard_json(scorecard)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"[scorecard written to {args.out}]", file=sys.stderr)
+    if args.json:
+        print(rendered)
+    else:
+        metrics = scorecard["metrics"]
+        print(
+            f"scenario {scorecard['scenario']} (seed {scorecard['seed']}, "
+            f"scale {scorecard['scale']:g}) — "
+            f"{scorecard['stream']['flows']:,} flows, "
+            f"{scorecard['stream']['bins']} bins, "
+            f"{scorecard['truth']['attacks']} attack(s) injected"
+        )
+        for check in scorecard["checks"]:
+            mark = "ok " if check["passed"] else "FAIL"
+            print(
+                f"  [{mark}] {check['name']}: {check['metric']}="
+                f"{check['value']} (want {check['op']} {check['threshold']})"
+            )
+        latency = metrics["detection_latency_max_bins"]
+        print(
+            f"  recall {metrics['detection_recall']:.2f}, "
+            f"precision {metrics['localization_precision']:.2f}, "
+            f"max latency "
+            f"{'-' if latency is None else f'{latency:g} bins'}, "
+            f"collateral {metrics['benign_collateral_rate']:.3f} "
+            f"({result.execution['shards']} {result.execution['backend']} "
+            f"shard(s))"
+        )
+        print("PASSED" if scorecard["passed"] else "FAILED")
+    return 0 if scorecard["passed"] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro.analysis passes over src/ and report findings."""
     import dataclasses
@@ -353,15 +429,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # No prefix abbreviation anywhere: a typo like `--ag sketch` must be
+    # a usage error, not a silent match for `--agg`.
     parser = argparse.ArgumentParser(
         prog="repro",
         description="IXP Scrubber reproduction (SIGCOMM 2022) experiment runner",
+        allow_abbrev=False,
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments").set_defaults(
-        func=_cmd_list
+    sub.add_parser(
+        "list", help="list available experiments", allow_abbrev=False
+    ).set_defaults(func=_cmd_list)
+    run_parser = sub.add_parser(
+        "run", help="run one experiment (or 'all')", allow_abbrev=False
     )
-    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id or 'all'")
     run_parser.add_argument(
         "--scale", choices=SCALES, default="small", help="corpus scale"
@@ -373,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
     stats_parser = sub.add_parser(
         "stats",
         help="run a short synthetic streaming workload and print live metrics",
+        allow_abbrev=False,
     )
     stats_parser.add_argument(
         "--days",
@@ -398,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
     stream_parser = sub.add_parser(
         "stream",
         help="run the synthetic workload through the sharded parallel engine",
+        allow_abbrev=False,
     )
     stream_parser.add_argument(
         "--days",
@@ -471,9 +554,70 @@ def main(argv: list[str] | None = None) -> int:
         help="snapshot output format",
     )
     stream_parser.set_defaults(func=_cmd_stream)
+    scen_parser = sub.add_parser(
+        "scenarios",
+        help="list or run the seeded operational scenarios (repro.scenarios)",
+        allow_abbrev=False,
+    )
+    scen_sub = scen_parser.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser(
+        "list",
+        help="list the registered scenarios",
+        allow_abbrev=False,
+    ).set_defaults(func=_cmd_scenarios_list)
+    scen_run = scen_sub.add_parser(
+        "run",
+        help="conduct one scenario end-to-end and score it",
+        allow_abbrev=False,
+    )
+    scen_run.add_argument(
+        "--scenario",
+        required=True,
+        metavar="NAME",
+        help="scenario name (see 'repro scenarios list')",
+    )
+    scen_run.add_argument(
+        "--seed", type=int, default=7, help="scenario seed (default 7)"
+    )
+    scen_run.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="workload scale multiplier (default 1.0)",
+    )
+    scen_run.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="number of worker shards (default 1; scorecard is invariant)",
+    )
+    scen_run.add_argument(
+        "--backend",
+        choices=("serial", "process", "supervised"),
+        default="serial",
+        help="shard execution backend (supervised reads $REPRO_FAULTS)",
+    )
+    scen_run.add_argument(
+        "--agg",
+        choices=("exact", "sketch"),
+        default="exact",
+        help="aggregation mode (exact keeps scorecards shard-invariant)",
+    )
+    scen_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the scorecard as canonical JSON instead of a summary",
+    )
+    scen_run.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the scorecard JSON to this file",
+    )
+    scen_run.set_defaults(func=_cmd_scenarios_run)
     lint_parser = sub.add_parser(
         "lint",
         help="run the project-aware static analysis (repro.analysis)",
+        allow_abbrev=False,
     )
     lint_parser.add_argument(
         "paths",

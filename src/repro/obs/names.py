@@ -54,6 +54,11 @@ C_RESILIENCE_FAULTS_INJECTED = "resilience.faults_injected"
 C_SKETCH_FLOWS_ABSORBED = "sketch.flows_absorbed"
 C_SKETCH_MERGES = "sketch.merges"
 C_SKETCH_RECORDS_BUILT = "sketch.records_built"
+C_SCENARIO_RUNS = "scenario.runs"
+C_SCENARIO_WORKLOAD_FLOWS = "scenario.workload_flows"
+C_SCENARIO_ATTACK_FLOWS = "scenario.attack_flows"
+C_SCENARIO_ATTACKS_INJECTED = "scenario.attacks_injected"
+C_SCENARIO_CHECKS_FAILED = "scenario.checks_failed"
 
 # -- gauges ------------------------------------------------------------
 G_STREAMING_TRAINING_FLOWS = "streaming.training_flows"
@@ -66,6 +71,7 @@ G_PARALLEL_SHARDS = "parallel.shards"
 G_RESILIENCE_DEGRADED_SHARDS = "resilience.degraded_shards"
 G_SKETCH_MEMORY_BYTES = "sketch.memory_bytes"
 G_SKETCH_ERROR_BOUND = "sketch.error_bound"
+G_SCENARIO_ACTIVE_USERS = "scenario.active_users"
 
 # -- spans (histograms of seconds) -------------------------------------
 SPAN_STREAMING_INGEST = "streaming.ingest"
@@ -94,6 +100,9 @@ SPAN_DRIFT_TRANSFER = "drift.transfer"
 SPAN_SKETCH_INGEST = "sketch.ingest"
 SPAN_SKETCH_MERGE = "sketch.merge"
 SPAN_SKETCH_BUILD = "sketch.build_records"
+SPAN_SCENARIO_BUILD = "scenario.build"
+SPAN_SCENARIO_RUN = "scenario.run"
+SPAN_SCENARIO_SCORE = "scenario.score"
 
 ALL_COUNTERS: tuple[str, ...] = tuple(
     v for k, v in sorted(globals().items()) if k.startswith("C_")

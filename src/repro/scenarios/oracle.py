@@ -1,0 +1,215 @@
+"""Ground truth and scoring for operational scenarios.
+
+A scenario *injects* attacks, so its oracle knows exactly which targets
+were hit and when. Scoring is a pure function of the engine's verdict
+stream plus that ground truth — no clocks, no randomness — which is
+what makes scorecards bit-identical across reruns, shard counts and
+backends (exact aggregation keeps the verdict stream itself invariant;
+the oracle adds nothing that could drift).
+
+Three score families, matching the paper's operational claims:
+
+* **detection latency** — bins between the moment an attack becomes
+  detectable (``detectable_from``, default its start) and the first
+  DDoS verdict on any of its victims;
+* **per-target localization** — precision/recall of the set of targets
+  ever flagged DDoS against the set of injected victims;
+* **benign collateral** — the fraction of *scored* benign-only targets
+  that were ever flagged (the "benign drop" an operator would cause by
+  acting on the verdicts).
+
+Latency may be negative when the engine fires during a ramp-up phase
+before the declared ``detectable_from`` bin — early detection is a
+bonus, not an error, so it is reported as drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.scrubber import TargetVerdict
+
+__all__ = [
+    "InjectedAttack",
+    "GroundTruth",
+    "Check",
+    "score_verdicts",
+    "evaluate_checks",
+]
+
+
+@dataclass(frozen=True)
+class InjectedAttack:
+    """One injected attack: the oracle's view of a campaign."""
+
+    attack_id: str
+    #: Every victim address the campaign targets (one for a flood,
+    #: dozens for carpet bombing).
+    victims: tuple[int, ...]
+    start_bin: int
+    #: Exclusive end bin.
+    end_bin: int
+    vectors: tuple[str, ...]
+    #: Bin from which the latency clock runs; ``None`` means
+    #: ``start_bin``. Slow-onset scenarios set this to the bin where the
+    #: attack first exceeds a declared detectability threshold.
+    detectable_from: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.end_bin <= self.start_bin:
+            raise ValueError("attack must span at least one bin")
+        if not self.victims:
+            raise ValueError("attack needs at least one victim")
+
+    @property
+    def clock_start(self) -> int:
+        return self.start_bin if self.detectable_from is None else self.detectable_from
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Everything the oracle knows about one scenario stream."""
+
+    attacks: tuple[InjectedAttack, ...]
+    #: Targets that receive benign traffic only (attacked targets are
+    #: excluded even if they also receive benign load).
+    benign_targets: tuple[int, ...]
+    #: Exclusive last bin of the stream.
+    horizon_bin: int
+
+    def attacked_targets(self) -> tuple[int, ...]:
+        """Sorted union of every attack's victims."""
+        return tuple(sorted({v for a in self.attacks for v in a.victims}))
+
+
+@dataclass(frozen=True)
+class Check:
+    """A named threshold over one scorecard metric."""
+
+    name: str
+    metric: str
+    op: str  # one of ">=", "<=", "=="
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in (">=", "<=", "=="):
+            raise ValueError(f"unknown check op {self.op!r}")
+
+    def evaluate(self, values: Mapping[str, object]) -> dict:
+        value = values.get(self.metric)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            passed = False
+        elif self.op == ">=":
+            passed = value >= self.threshold
+        elif self.op == "<=":
+            passed = value <= self.threshold
+        else:
+            passed = value == self.threshold
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": self.threshold,
+            "value": value,
+            "passed": bool(passed),
+        }
+
+
+def score_verdicts(
+    verdicts: Iterable[TargetVerdict], truth: GroundTruth
+) -> tuple[dict, list[dict]]:
+    """Score a verdict stream against the injected ground truth.
+
+    Returns ``(metrics, attack_details)``: the flat metric dict every
+    :class:`Check` evaluates over, and one detail record per injected
+    attack. Latency metrics are ``None`` (JSON ``null``) when no attack
+    was detected — never NaN, which strict JSON cannot carry.
+    """
+    ddos_bins_by_target: dict[int, list[int]] = {}
+    scored_targets: set[int] = set()
+    n_verdicts = 0
+    n_ddos = 0
+    for v in verdicts:
+        n_verdicts += 1
+        target = int(v.target_ip)
+        scored_targets.add(target)
+        if v.is_ddos:
+            n_ddos += 1
+            ddos_bins_by_target.setdefault(target, []).append(int(v.bin))
+
+    details: list[dict] = []
+    latencies: list[int] = []
+    n_detected = 0
+    for attack in truth.attacks:
+        first: Optional[int] = None
+        for victim in attack.victims:
+            for b in ddos_bins_by_target.get(int(victim), ()):
+                if attack.start_bin <= b < attack.end_bin and (
+                    first is None or b < first
+                ):
+                    first = b
+        detected = first is not None
+        latency = None if first is None else first - attack.clock_start
+        if detected:
+            n_detected += 1
+            latencies.append(latency)
+        details.append(
+            {
+                "id": attack.attack_id,
+                "n_victims": len(attack.victims),
+                "start_bin": attack.start_bin,
+                "end_bin": attack.end_bin,
+                "detectable_from": attack.clock_start,
+                "vectors": list(attack.vectors),
+                "detected": detected,
+                "first_detection_bin": first,
+                "latency_bins": latency,
+            }
+        )
+
+    attacked = set(truth.attacked_targets())
+    flagged = set(ddos_bins_by_target)
+    true_positives = flagged & attacked
+    precision = len(true_positives) / len(flagged) if flagged else 1.0
+    recall = len(true_positives) / len(attacked) if attacked else 1.0
+
+    benign = set(truth.benign_targets) - attacked
+    benign_scored = scored_targets & benign
+    benign_flagged = flagged & benign
+    collateral = (
+        len(benign_flagged) / len(benign_scored) if benign_scored else 0.0
+    )
+    false_positive_verdicts = sum(
+        len(ddos_bins_by_target[t]) for t in sorted(flagged - attacked)
+    )
+
+    metrics = {
+        "attacks_total": len(truth.attacks),
+        "attacks_detected": n_detected,
+        "detection_recall": (
+            n_detected / len(truth.attacks) if truth.attacks else 1.0
+        ),
+        "detection_latency_mean_bins": (
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+        "detection_latency_max_bins": max(latencies) if latencies else None,
+        "localization_precision": precision,
+        "localization_recall": recall,
+        "targets_flagged": len(flagged),
+        "benign_targets_scored": len(benign_scored),
+        "benign_targets_flagged": len(benign_flagged),
+        "benign_collateral_rate": collateral,
+        "false_positive_verdicts": false_positive_verdicts,
+        "verdicts_total": n_verdicts,
+        "ddos_verdicts": n_ddos,
+    }
+    return metrics, details
+
+
+def evaluate_checks(
+    checks: Sequence[Check], values: Mapping[str, object]
+) -> tuple[list[dict], bool]:
+    """Evaluate every check; returns (results, all_passed)."""
+    results = [c.evaluate(values) for c in checks]
+    return results, all(r["passed"] for r in results)

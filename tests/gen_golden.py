@@ -8,6 +8,11 @@ and fails on any drift beyond 1e-9 in score or any change in the
 discrete fields — the regression tripwire for refactors of the
 aggregation, encoding, scoring or parallel layers.
 
+``tests/golden/scenarios/`` freezes full oracle scorecards of two
+conducted scenarios (``repro.scenarios``); ``tests/test_scenarios.py``
+re-runs them and applies the same 1e-9 gate to every float, pinning the
+whole workload → engine → oracle path.
+
 Regenerate **only** after an intentional behaviour change, with::
 
     PYTHONPATH=src python tests/gen_golden.py
@@ -34,9 +39,17 @@ from repro.core.scrubber import IXPScrubber, ScrubberConfig
 from repro.core.streaming import StreamingScrubber
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SCENARIO_GOLDEN_DIR = GOLDEN_DIR / "scenarios"
 
 #: One golden trace per workload seed.
 WORKLOAD_SEEDS = (101, 202, 303)
+
+#: Scenario scorecards frozen as goldens: (name, seed, scale). Small
+#: scales keep regeneration and replay under a few seconds each.
+SCENARIO_CASES = (
+    ("carpet_bombing", 7, 0.25),
+    ("volumetric_flood", 11, 0.25),
+)
 
 #: Engine parameters shared by generation and replay. The huge grace
 #: period keeps the runs pure-classification (no retrain), so a trace
@@ -94,6 +107,10 @@ def trace_path(seed: int) -> Path:
     return GOLDEN_DIR / f"trace_w{seed}.json"
 
 
+def scenario_path(name: str, seed: int, scale: float) -> Path:
+    return SCENARIO_GOLDEN_DIR / f"{name}_s{seed}_x{scale:g}.json"
+
+
 def main() -> int:
     scrubber = build_scrubber()
     GOLDEN_DIR.mkdir(exist_ok=True)
@@ -109,6 +126,18 @@ def main() -> int:
         path.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
         print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}: "
               f"{len(verdicts)} verdicts")
+
+    from repro.scenarios import run_scenario, scorecard_json
+
+    SCENARIO_GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, seed, scale in SCENARIO_CASES:
+        result = run_scenario(name, seed=seed, scale=scale)
+        path = scenario_path(name, seed, scale)
+        path.write_text(
+            scorecard_json(result.scorecard) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}: "
+              f"passed={result.scorecard['passed']}")
     return 0
 
 

@@ -122,6 +122,7 @@ def wide_flows(
     flows_per_target: int = 2,
     n_bins: int = 1,
     start_bin: int = 0,
+    max_flows: int | None = None,
 ) -> FlowDataset:
     """Carpet-bombing-shaped workload: a huge sparse target fan-out.
 
@@ -129,9 +130,21 @@ def wide_flows(
     ``flows_per_target`` small flows — the distinct-target regime whose
     exact per-bin buffers grow linearly and whose sketch-mode state does
     not (the memory math in ``docs/SKETCHES.md``).
+
+    ``max_flows`` is the size hint scaled-down property runs pass: the
+    target fan-out is clamped so the dataset never exceeds it (it used
+    to be ignored via ``n_targets`` alone, so "small" runs still built
+    ``n_targets * flows_per_target`` flows). The fan-out is also capped
+    at 65536 targets — one per /24 is all 10.0.0.0/8 holds, and beyond
+    that the uint32 address arithmetic would silently leave the block.
     """
     if n_targets < 1 or flows_per_target < 1 or n_bins < 1:
         raise ValueError("n_targets, flows_per_target and n_bins must be >= 1")
+    if max_flows is not None:
+        if max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        n_targets = max(1, min(n_targets, max_flows // max(1, flows_per_target)))
+    n_targets = min(n_targets, 65536)
     hosts = rng.integers(1, 255, size=n_targets, dtype=np.uint32)
     targets = 0x0A000000 + (np.arange(n_targets, dtype=np.uint32) << 8) + hosts
     n_flows = n_targets * flows_per_target

@@ -159,6 +159,134 @@ class TestStream:
         assert restarts, "supervised run printed no restart counter"
 
 
+class TestAbbreviationRejection:
+    """Prefix abbreviation is off: flag typos are usage errors.
+
+    The regression: with argparse's default ``allow_abbrev=True`` a
+    typo like ``--ag sketch`` silently matched ``--agg``, so
+    ``repro stream --ag ...`` ran in whatever mode the prefix resolved
+    to — and the footer printed sketch eps/delta for what the operator
+    thought was an exact run.
+    """
+
+    @pytest.mark.parametrize("argv", [
+        ["stream", "--ag", "sketch"],
+        ["stream", "--shard", "2"],
+        ["scenarios", "run", "--scenario", "flash_crowd", "--sca", "0.5"],
+    ])
+    def test_abbreviated_flags_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    def test_exact_mode_footer_never_mentions_sketch(self, capsys):
+        assert main(["stream", "--days", "1", "--shards", "2"]) == 0
+        assert "sketch:" not in capsys.readouterr().out
+
+    def test_env_equivalence_rejects_sketch_mode(self, capsys, monkeypatch):
+        from repro.core.parallel.engine import EQUIVALENCE_ENV
+
+        monkeypatch.setenv(EQUIVALENCE_ENV, "1")
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--days", "1", "--agg", "sketch"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert EQUIVALENCE_ENV in err and "exact aggregation" in err
+
+    def test_env_equivalence_zero_means_off(self, capsys, monkeypatch):
+        from repro.core.parallel.engine import EQUIVALENCE_ENV
+
+        monkeypatch.setenv(EQUIVALENCE_ENV, "0")
+        assert main(["stream", "--days", "1", "--agg", "sketch"]) == 0
+        capsys.readouterr()
+
+
+class TestScenarios:
+    def test_list_names_every_registered_scenario(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_prints_scorecard_summary_and_passes(self, capsys):
+        assert main(
+            ["scenarios", "run", "--scenario", "volumetric_flood",
+             "--seed", "11", "--scale", "0.25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario volumetric_flood" in out
+        assert "[ok ]" in out and "PASSED" in out
+
+    def test_run_json_is_canonical_and_shard_invariant(self, capsys):
+        argv = ["scenarios", "run", "--scenario", "carpet_bombing",
+                "--seed", "7", "--scale", "0.25", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--shards", "4"]) == 0
+        second = capsys.readouterr().out
+        assert first == second, "scorecard JSON drifted with shard count"
+        card = json.loads(first)
+        assert card["scenario"] == "carpet_bombing" and card["passed"]
+        for metric in ("detection_latency_max_bins", "localization_precision",
+                       "localization_recall", "benign_collateral_rate"):
+            assert metric in card["metrics"]
+
+    def test_run_out_writes_the_same_json(self, capsys, tmp_path):
+        path = tmp_path / "card.json"
+        assert main(
+            ["scenarios", "run", "--scenario", "volumetric_flood",
+             "--seed", "11", "--scale", "0.25", "--json", "--out", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert path.read_text() == captured.out
+        assert "scorecard written" in captured.err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenarios", "run", "--scenario", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "volumetric_flood" in err
+
+    def test_failing_oracle_exits_1(self, capsys, monkeypatch):
+        import repro.scenarios.conductor as conductor
+        from repro.scenarios import Scenario, get_scenario
+        from repro.scenarios.oracle import Check
+
+        base = get_scenario("volumetric_flood")
+
+        def impossible(seed, scale):
+            spec = base.build(seed, scale)
+            return type(spec)(
+                **{**spec.__dict__,
+                   "checks": (Check("cannot hold", "detection_recall",
+                                    ">=", 2.0),)}
+            )
+
+        monkeypatch.setitem(
+            conductor._REGISTRY, "impossible",
+            Scenario("impossible", "always fails", impossible),
+        )
+        assert main(
+            ["scenarios", "run", "--scenario", "impossible",
+             "--seed", "11", "--scale", "0.25"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "FAILED" in out
+
+    def test_invalid_arguments_exit_2(self, capsys):
+        for argv in (["scenarios", "run"],
+                     ["scenarios", "run", "--scenario", "x", "--scale", "0"],
+                     ["scenarios", "run", "--scenario", "x", "--shards", "0"],
+                     ["scenarios", "run", "--scenario", "x", "--agg", "hll"],
+                     ["scenarios"]):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2
+            capsys.readouterr()
+
+
 class TestLint:
     """``repro lint`` — the static-analysis front door."""
 

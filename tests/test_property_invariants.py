@@ -328,3 +328,44 @@ class TestKernelEquivalence:
             assert matched_rule_ids(rules, flows) == expected, (
                 f"seed {seed}: vectorised matched_rule_ids diverged"
             )
+
+
+class TestWideFlowsStrategy:
+    """The wide_flows size hint actually bounds the dataset."""
+
+    def test_max_flows_clamps_dataset_size(self):
+        for seed in range(10):
+            rng = strategies.rng_for(seed)
+            hint = int(rng.integers(1, 200))
+            per_target = int(rng.integers(1, 5))
+            data = strategies.wide_flows(
+                strategies.rng_for(seed),
+                n_targets=5000,
+                flows_per_target=per_target,
+                max_flows=hint,
+            )
+            assert len(data) <= hint, (
+                f"seed {seed}: size hint {hint} ignored ({len(data)} flows)"
+            )
+            assert len(data) >= 1
+
+    def test_small_hint_beats_large_default_fanout(self):
+        # The regression: small-scale property runs passed a hint but
+        # still got the full n_targets * flows_per_target fan-out.
+        small = strategies.wide_flows(strategies.rng_for(3), max_flows=50)
+        full = strategies.wide_flows(strategies.rng_for(3))
+        assert len(small) <= 50
+        assert len(full) == 10000
+
+    def test_targets_stay_one_per_slash24_inside_10_8(self):
+        data = strategies.wide_flows(
+            strategies.rng_for(1), n_targets=80000, flows_per_target=1
+        )
+        dst = np.unique(data.dst_ip)
+        assert len(data) == 65536  # capped at one target per /24 of 10/8
+        assert ((dst & 0xFF000000) == 0x0A000000).all()
+        assert len(np.unique(dst >> 8)) == len(dst)
+
+    def test_rejects_nonpositive_hint(self):
+        with pytest.raises(ValueError):
+            strategies.wide_flows(strategies.rng_for(0), max_flows=0)

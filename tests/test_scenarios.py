@@ -1,0 +1,333 @@
+"""Scenario conductor: workload, oracle, registry and scorecard tests.
+
+Three layers, matching the package:
+
+* :class:`TestPoissonWorkloadManager` — the open-loop workload contract
+  (start/collect/stop, determinism, the ``scale`` knob);
+* :class:`TestOracle` — scoring arithmetic on hand-built verdict
+  streams where every metric value is computable by eye;
+* the conductor tests — golden scorecards with a 1e-9 float gate, and
+  the bit-identical-scorecard property across reruns, shard counts,
+  backends and injected faults (the acceptance criterion of the
+  scenario subsystem).
+
+Process-backend and whole-catalogue runs carry ``@pytest.mark.slow``
+and are excluded from tier-1 (``addopts = -m "not slow"``); the CI
+``scenario-soak`` job runs them with ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.gen_golden import SCENARIO_CASES, scenario_path
+from repro.core.resilience import FaultPlan
+from repro.core.scrubber import TargetVerdict
+from repro.scenarios import (
+    Check,
+    GroundTruth,
+    InjectedAttack,
+    PoissonWorkloadManager,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    score_verdicts,
+    scorecard_json,
+)
+from repro.scenarios.oracle import evaluate_checks
+
+# ----------------------------------------------------------------------
+# Workload manager.
+# ----------------------------------------------------------------------
+
+
+class TestPoissonWorkloadManager:
+    def test_same_seed_same_flows(self):
+        streams = []
+        for _ in range(2):
+            manager = PoissonWorkloadManager(seed=5, active_users=80.0,
+                                             rate_per_user=0.5)
+            manager.start()
+            streams.append(manager.collect(16))
+            manager.stop()
+        a, b = streams
+        assert len(a) == len(b)
+        for column in ("time", "src_ip", "dst_ip", "bytes"):
+            assert np.array_equal(getattr(a, column), getattr(b, column))
+
+    def test_scale_multiplies_offered_load(self):
+        sizes = {}
+        for scale in (0.5, 4.0):
+            manager = PoissonWorkloadManager(seed=5, active_users=120.0,
+                                             rate_per_user=0.5, scale=scale)
+            manager.start()
+            sizes[scale] = len(manager.collect(24))
+            manager.stop()
+        # Poisson noise is far smaller than the 8x scale ratio.
+        assert sizes[4.0] > 4 * sizes[0.5]
+
+    def test_flows_land_in_the_collected_bins_in_order(self):
+        manager = PoissonWorkloadManager(seed=1, active_users=60.0,
+                                         rate_per_user=0.4)
+        manager.start(start_bin=10)
+        flows = manager.collect(8)
+        manager.stop()
+        bins = flows.time // 60
+        assert bins.min() >= 10 and bins.max() < 18
+        assert (np.diff(bins) >= 0).all()  # emitted bin by bin
+
+    def test_collect_requires_start(self):
+        manager = PoissonWorkloadManager(seed=1, active_users=10.0,
+                                         rate_per_user=0.5)
+        with pytest.raises(RuntimeError):
+            manager.collect(4)
+        manager.start()
+        manager.stop()
+        with pytest.raises(RuntimeError):
+            manager.collect(4)
+
+    def test_recent_entries_is_a_suffix(self):
+        manager = PoissonWorkloadManager(seed=3, active_users=50.0,
+                                         rate_per_user=0.5)
+        manager.start()
+        manager.collect(12)
+        recent = manager.recent_entries(4)
+        manager.stop()
+        assert (recent.time // 60 >= 8).all()
+
+    def test_targets_stay_in_declared_block(self):
+        manager = PoissonWorkloadManager(seed=2, active_users=40.0,
+                                         rate_per_user=0.5, n_targets=32)
+        manager.start()
+        flows = manager.collect(4)
+        manager.stop()
+        assert ((flows.dst_ip & 0xFFFF0000) == 0x0AC80000).all()
+
+
+# ----------------------------------------------------------------------
+# Oracle scoring.
+# ----------------------------------------------------------------------
+
+
+def _verdict(bin_, target, is_ddos, score=None):
+    if score is None:
+        score = 0.9 if is_ddos else 0.1
+    return TargetVerdict(bin=bin_, target_ip=target, is_ddos=is_ddos,
+                         score=score, matched_rules=())
+
+
+class TestOracle:
+    VICTIM = 0x0A000001
+    BENIGN = (0x0B000001, 0x0B000002, 0x0B000003)
+
+    def _truth(self, **attack_kwargs):
+        defaults = dict(attack_id="a", victims=(self.VICTIM,),
+                        start_bin=10, end_bin=20, vectors=("DNS",))
+        defaults.update(attack_kwargs)
+        return GroundTruth(attacks=(InjectedAttack(**defaults),),
+                           benign_targets=self.BENIGN, horizon_bin=30)
+
+    def test_latency_counts_from_attack_start(self):
+        verdicts = [_verdict(13, self.VICTIM, True),
+                    _verdict(14, self.VICTIM, True)]
+        metrics, details = score_verdicts(verdicts, self._truth())
+        assert metrics["attacks_detected"] == 1
+        assert metrics["detection_latency_mean_bins"] == 3
+        assert metrics["detection_latency_max_bins"] == 3
+        assert details[0]["first_detection_bin"] == 13
+
+    def test_detectable_from_moves_the_clock(self):
+        verdicts = [_verdict(16, self.VICTIM, True)]
+        metrics, _ = score_verdicts(
+            verdicts, self._truth(detectable_from=15)
+        )
+        assert metrics["detection_latency_max_bins"] == 1
+
+    def test_missed_attack_has_no_latency(self):
+        metrics, details = score_verdicts([], self._truth())
+        assert metrics["detection_recall"] == 0.0
+        assert metrics["detection_latency_mean_bins"] is None
+        assert details[0]["first_detection_bin"] is None
+
+    def test_localization_and_collateral_arithmetic(self):
+        verdicts = [
+            _verdict(12, self.VICTIM, True),
+            _verdict(12, self.BENIGN[0], True),   # collateral
+            _verdict(12, self.BENIGN[1], False),
+            _verdict(25, self.VICTIM, False),
+        ]
+        metrics, _ = score_verdicts(verdicts, self._truth())
+        assert metrics["localization_precision"] == 0.5   # 1 of 2 flagged
+        assert metrics["localization_recall"] == 1.0
+        assert metrics["benign_targets_scored"] == 2
+        assert metrics["benign_targets_flagged"] == 1
+        assert metrics["benign_collateral_rate"] == 0.5
+        assert metrics["false_positive_verdicts"] == 1
+
+    def test_flag_after_the_window_is_not_a_detection(self):
+        # The victim flagged only after the attack ended: no detection,
+        # but also no collateral — the target genuinely was attacked.
+        verdicts = [_verdict(25, self.VICTIM, True)]
+        metrics, details = score_verdicts(verdicts, self._truth())
+        assert metrics["attacks_detected"] == 0
+        assert details[0]["latency_bins"] is None
+        assert metrics["localization_precision"] == 1.0
+        assert metrics["false_positive_verdicts"] == 0
+
+    def test_check_operators(self):
+        values = {"x": 1.5, "missing_is_fail": None}
+        results, ok = evaluate_checks(
+            (Check("ge", "x", ">=", 1.0), Check("le", "x", "<=", 2.0),
+             Check("eq", "x", "==", 1.5)),
+            values,
+        )
+        assert ok and all(r["passed"] for r in results)
+        results, ok = evaluate_checks(
+            (Check("none", "missing_is_fail", ">=", 0.0),
+             Check("absent", "no_such_metric", "<=", 1.0)),
+            values,
+        )
+        assert not ok and not any(r["passed"] for r in results)
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_catalogue_has_the_promised_scenarios(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for required in ("flash_crowd", "volumetric_flood", "carpet_bombing",
+                         "retrain_storm", "blackhole_churn", "slow_drift",
+                         "novel_vector", "collateral_spike"):
+            assert required in names
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="carpet_bombing"):
+            get_scenario("no_such_scenario")
+
+    def test_specs_build_deterministically(self):
+        for name in ("flash_crowd", "blackhole_churn"):
+            build = get_scenario(name).build
+            a, b = build(3, 0.25), build(3, 0.25)
+            assert len(a.flows) == len(b.flows)
+            assert np.array_equal(a.flows.dst_ip, b.flows.dst_ip)
+            assert a.truth == b.truth
+            assert [u.prefix for u in a.updates] == [u.prefix for u in b.updates]
+
+
+# ----------------------------------------------------------------------
+# Conductor: goldens and the invariance property.
+# ----------------------------------------------------------------------
+
+
+def _assert_scorecards_match(actual: dict, golden: dict, context: str,
+                             path: str = "$") -> None:
+    """Recursive compare: floats gated at 1e-9, all else exact."""
+    if isinstance(golden, float) and isinstance(actual, (int, float)):
+        assert actual == pytest.approx(golden, abs=1e-9), (
+            f"{context}: {path} drifted: {actual!r} != {golden!r}"
+        )
+    elif isinstance(golden, dict):
+        assert isinstance(actual, dict) and sorted(actual) == sorted(golden), (
+            f"{context}: {path} keys changed"
+        )
+        for key in golden:
+            _assert_scorecards_match(actual[key], golden[key], context,
+                                     f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list) and len(actual) == len(golden), (
+            f"{context}: {path} length changed"
+        )
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            _assert_scorecards_match(a, g, context, f"{path}[{i}]")
+    else:
+        assert actual == golden, (
+            f"{context}: {path} changed: {actual!r} != {golden!r}"
+        )
+
+
+@pytest.mark.parametrize("name,seed,scale", SCENARIO_CASES)
+def test_golden_scorecards(name, seed, scale):
+    golden = json.loads(scenario_path(name, seed, scale).read_text())
+    result = run_scenario(name, seed=seed, scale=scale)
+    _assert_scorecards_match(result.scorecard, golden,
+                             f"{name} seed={seed} scale={scale}")
+    assert result.scorecard["passed"], f"golden scenario {name} fails its oracle"
+
+
+def test_scorecard_invariant_across_reruns_and_shards():
+    runs = {
+        "rerun": dict(),
+        "4 shards": dict(shards=4),
+    }
+    base = scorecard_json(
+        run_scenario("carpet_bombing", seed=7, scale=0.25).scorecard
+    )
+    for label, kwargs in runs.items():
+        other = scorecard_json(
+            run_scenario("carpet_bombing", seed=7, scale=0.25, **kwargs).scorecard
+        )
+        assert other == base, f"scorecard not bit-identical under {label}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards,backend", [(2, "process"), (2, "supervised")])
+def test_scorecard_invariant_across_backends(shards, backend):
+    base = scorecard_json(
+        run_scenario("carpet_bombing", seed=7, scale=0.25).scorecard
+    )
+    other = scorecard_json(
+        run_scenario("carpet_bombing", seed=7, scale=0.25,
+                     shards=shards, backend=backend).scorecard
+    )
+    assert other == base, f"scorecard drifted on {backend} x{shards}"
+
+
+@pytest.mark.slow
+def test_fault_plan_is_score_invisible(monkeypatch):
+    """A seeded worker-crash plan must not change a single scorecard bit."""
+    from repro.core.resilience import FAULTS_ENV
+
+    monkeypatch.setenv(FAULTS_ENV, "crash@0:batch=1")
+    base = scorecard_json(
+        run_scenario("volumetric_flood", seed=11, scale=0.25).scorecard
+    )
+    faulted = scorecard_json(
+        run_scenario(
+            "volumetric_flood", seed=11, scale=0.25, shards=2,
+            backend="supervised",
+            backend_options={"fault_plan": FaultPlan.from_env()},
+        ).scorecard
+    )
+    assert faulted == base
+
+
+@pytest.mark.slow
+def test_whole_catalogue_passes_its_oracles():
+    failed = []
+    for name in scenario_names():
+        result = run_scenario(name, seed=7, scale=0.25)
+        if not result.scorecard["passed"]:
+            bad = [c["name"] for c in result.scorecard["checks"]
+                   if not c["passed"]]
+            failed.append(f"{name}: {bad}")
+    assert not failed, "scenarios failed their oracles: " + "; ".join(failed)
+
+
+def test_scorecard_is_json_safe_and_versioned():
+    result = run_scenario("volumetric_flood", seed=11, scale=0.25)
+    rendered = scorecard_json(result.scorecard)
+    parsed = json.loads(rendered)
+    assert parsed["schema_version"] == 1
+    assert parsed["metrics"]["detection_recall"] > 0
+    assert set(parsed) >= {"scenario", "seed", "scale", "stream", "truth",
+                           "metrics", "attacks", "checks", "passed"}
+    # NaN/Infinity never reach the scorecard (allow_nan=False would
+    # already have thrown while rendering).
+    assert "NaN" not in rendered and "Infinity" not in rendered
