@@ -79,6 +79,19 @@ class LintConfig:
     #: Module prefixes exempt from the obs-names emission scan (the obs
     #: layer handles caller-supplied names, it never emits its own).
     obs_exempt: tuple[str, ...] = ("repro.obs",)
+    #: Module prefixes whose files must survive a crash (RS501/RS502
+    #: scope): everything they write must go through the sanctioned
+    #: durable-write idiom.
+    durable_modules: tuple[str, ...] = (
+        "repro.core.recovery", "repro.core.persistence"
+    )
+    #: The sanctioned writer modules, exempt from RS501/RS502: the
+    #: temp+fsync+rename implementation itself, and the append-only
+    #: journal with its own fsync-per-append discipline.
+    durable_writers: tuple[str, ...] = (
+        "repro.core.recovery.durable",
+        "repro.core.recovery.journal",
+    )
     #: Default baseline file.
     baseline_path: Optional[Path] = None
 

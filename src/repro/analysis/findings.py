@@ -47,6 +47,9 @@ RULES: dict[str, str] = {
     "RS402": "emitted metric/span name bypasses the obs/names.py catalogue",
     "RS403": "emitted metric/span name has no docs/METRICS.md row",
     "RS404": "instrument kind does not match the name's catalogue prefix",
+    # durability
+    "RS501": "bare write in a recovery-critical module (bypasses durable_write)",
+    "RS502": "os.rename/os.replace in a recovery-critical module without fsync discipline",
 }
 
 

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.durability import DurabilityPass
 from repro.analysis.passes.layering import LayeringPass
 from repro.analysis.passes.obs_names import ObsNamesPass
 from repro.analysis.passes.shard_safety import ShardSafetyPass
 
-__all__ = ["ALL_PASSES", "DeterminismPass", "LayeringPass", "ObsNamesPass",
-           "ShardSafetyPass"]
+__all__ = ["ALL_PASSES", "DeterminismPass", "DurabilityPass", "LayeringPass",
+           "ObsNamesPass", "ShardSafetyPass"]
 
 #: Instantiable passes in execution order. Each exposes ``name``,
 #: ``rule_ids`` and ``run(project, config) -> list[Finding]``.
@@ -17,4 +18,5 @@ ALL_PASSES = (
     ShardSafetyPass,
     LayeringPass,
     ObsNamesPass,
+    DurabilityPass,
 )

@@ -119,24 +119,25 @@ def _stream_workload(days: int, seed: int):
     return profile, WorkloadGenerator(IXPFabric(profile)).generate(0, days)
 
 
-def _drive_engine(engine, capture, chunk_bins: int = 8) -> tuple[int, float]:
-    """Stream a capture through an engine; return (verdicts, seconds)."""
-    flows = capture.flows
-    updates = sorted(capture.updates, key=lambda u: u.time)
-    bins = flows.time // 60
-    u = 0
-    n_verdicts = 0
+def _drive_engine(engine, capture, chunk_bins: int = 8, session=None) -> tuple[int, float]:
+    """Stream a capture through an engine; return (verdicts, seconds).
+
+    The chunking rule lives in :func:`repro.core.recovery.session.
+    drive_engine` so the CLI, the scenario conductor, and crash/resume
+    tests all tick through a capture identically — the precondition for
+    byte-exact replay verification.
+    """
+    from repro.core.recovery.session import drive_engine
+
     start = time.perf_counter()  # repro: lint-ignore[RS101] throughput readout for the operator, not part of any verdict
-    for chunk_start in range(int(bins.min()), int(bins.max()) + 1, chunk_bins):
-        mask = (bins >= chunk_start) & (bins < chunk_start + chunk_bins)
-        chunk_updates = []
-        limit = (chunk_start + chunk_bins) * 60
-        while u < len(updates) and updates[u].time < limit:
-            chunk_updates.append(updates[u])
-            u += 1
-        n_verdicts += len(engine.ingest(flows.select(mask), chunk_updates))
-    n_verdicts += len(engine.flush())
-    return n_verdicts, time.perf_counter() - start  # repro: lint-ignore[RS101] throughput readout for the operator, not part of any verdict
+    verdicts = drive_engine(
+        engine,
+        capture.flows,
+        capture.updates,
+        chunk_bins=chunk_bins,
+        session=session,
+    )
+    return len(verdicts), time.perf_counter() - start  # repro: lint-ignore[RS101] throughput readout for the operator, not part of any verdict
 
 
 def _print_snapshot(snap, fmt: str, footer: str) -> None:
@@ -192,14 +193,18 @@ def _resolve_stream_backend(args: argparse.Namespace) -> tuple[str, dict]:
 
     backend = args.backend
     plan = args.faults if args.faults is not None else FaultPlan.from_env()
-    wants_supervision = bool(plan) or args.shard_timeout is not None \
+    # Disk faults are the checkpoint store's business, not the workers':
+    # a plan with only disk specs must not force worker supervision.
+    worker_faults = bool(plan.worker_specs())
+    wants_supervision = worker_faults or args.shard_timeout is not None \
         or args.max_restarts is not None
     if backend == "serial":
-        if args.faults is not None or args.shard_timeout is not None \
+        if (args.faults is not None and args.faults.worker_specs()) \
+                or args.shard_timeout is not None \
                 or args.max_restarts is not None:
             print(
-                "error: --faults/--shard-timeout/--max-restarts require "
-                "--backend process or supervised",
+                "error: worker --faults/--shard-timeout/--max-restarts "
+                "require --backend process or supervised",
                 file=sys.stderr,
             )
             raise SystemExit(2)
@@ -208,7 +213,7 @@ def _resolve_stream_backend(args: argparse.Namespace) -> tuple[str, dict]:
         if not wants_supervision:
             return backend, {}
         source = "--faults" if args.faults is not None else (
-            f"{FAULTS_ENV} set" if plan else "supervision flags given"
+            f"{FAULTS_ENV} set" if worker_faults else "supervision flags given"
         )
         print(
             f"[{source}: upgrading process backend to supervised]",
@@ -261,9 +266,45 @@ def _resolve_stream_agg(args: argparse.Namespace):
     return SketchParams(**overrides)
 
 
+def _resolve_stream_recovery(args: argparse.Namespace, engine):
+    """Build the ``RecoverySession`` for ``repro stream``, if requested.
+
+    ``--checkpoint-every``/``--resume`` without ``--checkpoint-dir`` are
+    usage errors; recovery-layer failures (corrupt journal, refusing to
+    overwrite history, incompatible snapshot) exit 3 with the typed
+    error's message rather than a traceback.
+    """
+    from pathlib import Path
+
+    from repro.core.recovery import RecoveryError, RecoverySession
+    from repro.core.resilience import FaultPlan
+
+    if args.checkpoint_dir is None:
+        if args.resume or args.checkpoint_every is not None:
+            print(
+                "error: --resume/--checkpoint-every require --checkpoint-dir",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return None
+    plan = args.faults if args.faults is not None else FaultPlan.from_env()
+    try:
+        return RecoverySession(
+            engine,
+            Path(args.checkpoint_dir),
+            every=8 if args.checkpoint_every is None else args.checkpoint_every,
+            resume=args.resume,
+            fault_specs=plan.disk_specs(),
+        )
+    except RecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(3) from exc
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     """Drive the sharded parallel engine; print the merged snapshot."""
     from repro.core.parallel import ShardedStreamingScrubber
+    from repro.core.recovery import RecoveryError
     from repro.core.scrubber import ScrubberConfig
 
     backend, backend_options = _resolve_stream_backend(args)
@@ -281,10 +322,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         bins_per_day=profile.bins_per_day,
         seed=1,
     )
+    session = _resolve_stream_recovery(args, engine)
     try:
-        n_verdicts, elapsed = _drive_engine(engine, capture)
+        try:
+            n_verdicts, elapsed = _drive_engine(engine, capture, session=session)
+        except RecoveryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(3) from exc
         snap = engine.merged_snapshot()
     finally:
+        if session is not None:
+            session.close()
         engine.close()
     rate = len(capture.flows) / elapsed if elapsed > 0 else float("inf")
     resilience_note = ""
@@ -305,6 +353,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"{gauges.get('sketch.memory_bytes', 0) / 1e6:.1f} MB state, "
             f"flow overcount <= {gauges.get('sketch.error_bound', 0):,.0f}"
         )
+    recovery_note = ""
+    if session is not None:
+        counters = {c["name"]: int(c["value"]) for c in snap["counters"]}
+        recovery_note = (
+            f"; recovery: {counters.get('checkpoint.saves', 0)} snapshots, "
+            f"{counters.get('checkpoint.failures', 0)} write failures, "
+            f"{counters.get('checkpoint.journal_appends', 0)} journal appends"
+            + (", resumed" if args.resume else "")
+        )
     _print_snapshot(
         snap,
         args.format,
@@ -312,7 +369,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"in {elapsed:.1f}s ({rate:,.0f} flows/s) across {args.shards} "
         f"{backend} shard(s); model ready: {engine.is_ready}"
         f"{'; equivalence checked' if args.check else ''}"
-        f"{resilience_note}{sketch_note}]",
+        f"{resilience_note}{sketch_note}{recovery_note}]",
     )
     return 0
 
@@ -546,6 +603,26 @@ def main(argv: list[str] | None = None) -> int:
         type=_unit_interval,
         metavar="DELTA",
         help="sketch mode: error-bound failure probability (default 0.01)",
+    )
+    stream_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="enable crash-safe checkpointing into this directory "
+        "(snapshots + verdict journal; see docs/RECOVERY.md)",
+    )
+    stream_parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        metavar="TICKS",
+        help="snapshot cadence in ingest ticks (default 8; journal "
+        "appends happen every tick regardless)",
+    )
+    stream_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the run recorded in --checkpoint-dir: restore the "
+        "newest valid snapshot, replay-verify up to the journal head, "
+        "then emit only verdicts the dead run never emitted",
     )
     stream_parser.add_argument(
         "--format",

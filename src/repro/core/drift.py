@@ -222,3 +222,110 @@ def reflector_overlap_matrix(
                 reflector_sets[a]
             )
     return TransferMatrix(train_sites=sites, test_sites=sites, scores=scores)
+
+
+# ----------------------------------------------------------------------
+# Online drift tracking (streaming engine)
+# ----------------------------------------------------------------------
+class DriftTracker:
+    """Streaming detector for drift in the per-bin verdict mix.
+
+    The offline loops above measure drift between *models*; this tracker
+    watches the live engine for drift in its *output*: the share of
+    scored targets per closed bin that the model calls DDoS. A slow
+    upward creep of that share (the ``slow_drift`` scenario) means the
+    traffic mix is moving away from what the model was trained on.
+
+    Mechanics: the share is smoothed with a deterministic EWMA; after a
+    warmup period the smoothed value is frozen as the baseline, and the
+    tracker *trips* once the EWMA stays more than ``threshold`` away
+    from the baseline for ``consecutive`` observed bins. On a trip (and
+    on every retrain) the baseline re-anchors to the current EWMA so a
+    persistent shift is reported once, not every bin thereafter.
+
+    The tracker is purely observational — it never changes verdicts —
+    and purely deterministic: float arithmetic only, no clocks, no RNG,
+    so resumed runs reproduce trips bit-for-bit. State round-trips
+    through :meth:`to_state` / :meth:`from_state` for checkpointing.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        threshold: float = 0.08,
+        warmup_bins: int = 12,
+        consecutive: int = 3,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if warmup_bins < 1:
+            raise ValueError("warmup_bins must be >= 1")
+        if consecutive < 1:
+            raise ValueError("consecutive must be >= 1")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup_bins = warmup_bins
+        self.consecutive = consecutive
+        self._ewma: Optional[float] = None
+        self._baseline: Optional[float] = None
+        self._bins_seen = 0
+        self._streak = 0
+        self.trips = 0
+
+    def observe(self, ddos_share: float) -> bool:
+        """Feed one closed bin's DDoS-verdict share; True when tripping."""
+        self._bins_seen += 1
+        if self._ewma is None:
+            self._ewma = float(ddos_share)
+        else:
+            self._ewma = self.alpha * float(ddos_share) + (1.0 - self.alpha) * self._ewma
+        if self._baseline is None:
+            if self._bins_seen >= self.warmup_bins:
+                self._baseline = self._ewma
+            return False
+        if abs(self._ewma - self._baseline) > self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.consecutive:
+            self.trips += 1
+            self._streak = 0
+            self._baseline = self._ewma
+            return True
+        return False
+
+    def rebaseline(self) -> None:
+        """Re-anchor to the current EWMA (called after a retrain)."""
+        if self._ewma is not None and self._baseline is not None:
+            self._baseline = self._ewma
+        self._streak = 0
+
+    # -- checkpoint state ------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe state; floats round-trip exactly via repr."""
+        return {
+            "alpha": self.alpha,
+            "threshold": self.threshold,
+            "warmup_bins": self.warmup_bins,
+            "consecutive": self.consecutive,
+            "ewma": self._ewma,
+            "baseline": self._baseline,
+            "bins_seen": self._bins_seen,
+            "streak": self._streak,
+            "trips": self.trips,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DriftTracker":
+        tracker = cls(
+            alpha=state["alpha"],
+            threshold=state["threshold"],
+            warmup_bins=int(state["warmup_bins"]),
+            consecutive=int(state["consecutive"]),
+        )
+        tracker._ewma = state["ewma"]
+        tracker._baseline = state["baseline"]
+        tracker._bins_seen = int(state["bins_seen"])
+        tracker._streak = int(state["streak"])
+        tracker.trips = int(state["trips"])
+        return tracker

@@ -41,6 +41,7 @@ import multiprocessing
 import os
 import pickle
 import time
+import weakref
 from typing import Optional, Sequence
 
 from repro import obs
@@ -232,6 +233,12 @@ class ProcessBackend:
         # Pre-size so close() is safe however far __init__ got.
         self._conns: list = [None] * n_shards
         self._procs: list = [None] * n_shards
+        # Reap orphaned workers if the owner never calls close(). The
+        # finalizer captures the slot *lists* (mutated in place by
+        # _start_worker and the supervisor's restart path), never self.
+        self._finalizer = weakref.finalize(
+            self, _reap_orphans, self._conns, self._procs
+        )
         try:
             for shard in range(n_shards):
                 self._start_worker(shard)
@@ -315,8 +322,12 @@ class ProcessBackend:
 
         Idempotent, and safe after a partially failed ``__init__``:
         slots that never spawned are skipped, started workers are
-        stopped and joined.
+        stopped and joined. Detaches the orphan-reaper finalizer first —
+        an explicit close supersedes the garbage-collection fallback.
         """
+        finalizer = getattr(self, "_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
         for conn in self._conns:
             if conn is None:
                 continue
@@ -340,6 +351,42 @@ class ProcessBackend:
                 pass
         self._conns = []
         self._procs = []
+
+
+def _reap_orphans(conns: list, procs: list) -> None:
+    """Last-resort cleanup for workers whose backend was never closed.
+
+    Runs from a ``weakref.finalize`` when the backend is garbage
+    collected (and, via finalize's atexit hook, at interpreter exit),
+    so an engine that was never ``close()``d cannot leak live worker
+    processes. Deliberately takes the *list objects*, not the backend —
+    holding ``self`` in the finalizer would keep the backend alive
+    forever. Best effort: ask nicely over the pipe, then terminate.
+    """
+    for conn in conns:
+        if conn is None:
+            continue
+        try:
+            conn.send(("stop",))
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+    for proc in procs:
+        if proc is None:
+            continue
+        try:
+            proc.join(timeout=1)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+        except (OSError, ValueError, AssertionError):
+            pass
+    for conn in conns:
+        if conn is None:
+            continue
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 def _supervised_backend(*args, **kwargs):

@@ -177,6 +177,23 @@ class ShardedStreamingScrubber(ShardableEngine):
             self._shadow.warm_start(scrubber)
         return self
 
+    @property
+    def drift_trips(self) -> int:
+        return self._inner.drift_trips
+
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of coordinator + shadow state."""
+        from repro.core.recovery.state_codec import capture_sharded_state
+
+        return capture_sharded_state(self)
+
+    def restore_state(self, state: dict) -> "ShardedStreamingScrubber":
+        """Restore a snapshot; the model re-broadcasts on the next bin."""
+        from repro.core.recovery.state_codec import restore_sharded_state
+
+        restore_sharded_state(self, state)
+        return self
+
     def ingest(
         self, flows: FlowDataset, updates: Iterable[Update] = ()
     ) -> list[TargetVerdict]:

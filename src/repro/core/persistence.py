@@ -399,10 +399,19 @@ def scrubber_from_dict(data: dict[str, Any]) -> IXPScrubber:
 
 
 def save_scrubber(scrubber: IXPScrubber, path: str | Path) -> None:
-    """Write a scrubber to a JSON file."""
+    """Write a scrubber to a JSON file (atomically and durably).
+
+    Model files are recovery-critical — a checkpointed engine may be
+    the only holder of the current model — so the write goes through
+    the temp + fsync + rename idiom of :mod:`repro.core.recovery`
+    rather than a bare ``write_text`` a crash could tear.
+    """
+    from repro.core.recovery.durable import durable_write
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(scrubber_to_dict(scrubber)) + "\n")
+    payload = (json.dumps(scrubber_to_dict(scrubber)) + "\n").encode("utf-8")
+    durable_write(path, payload)
 
 
 def load_scrubber(path: str | Path) -> IXPScrubber:

@@ -1,0 +1,88 @@
+"""The one sanctioned way to write recovery-critical files.
+
+Crash safety rests on a single idiom, applied everywhere a snapshot,
+manifest, or model file hits disk:
+
+1. write the full payload to a deterministic sibling temp file,
+2. ``fsync`` the file descriptor (data reaches the device, not just
+   the page cache),
+3. ``os.replace`` it over the destination (atomic on POSIX — readers
+   see either the old file or the new one, never a prefix),
+4. ``fsync`` the containing directory (the rename itself is durable).
+
+A crash at any point leaves either the previous version or the new one;
+a torn write can only ever affect the temp file, which the next
+successful write simply overwrites. The RS501/RS502 durability lint
+(``docs/ANALYSIS.md``) flags any write to recovery/persistence paths
+that bypasses this module.
+
+Fault injection: :func:`durable_write` accepts an optional ``fault``
+kind so the checkpoint store can simulate torn writes and full disks
+deterministically (see :mod:`repro.core.resilience.faults`) — the
+simulated failure goes through the same code path a real one would.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.core.recovery.errors import CheckpointWriteError
+
+__all__ = ["durable_write", "fsync_dir"]
+
+
+def fsync_dir(directory: Path) -> None:
+    """Flush a directory entry table to the device (POSIX best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs here
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_write(path: Path, data: bytes, fault: Optional[str] = None) -> None:
+    """Atomically and durably replace ``path`` with ``data``.
+
+    ``fault`` injects a deterministic disk failure:
+
+    * ``"torn-write"`` — only the first half of ``data`` reaches the
+      file before the rename, simulating a write torn by power loss
+      that the rename nevertheless made visible. Detection is the
+      *reader's* job (sha256 manifests), which is exactly what the
+      chaos suite asserts.
+    * ``"enospc"`` — the write fails with ``ENOSPC`` before any byte is
+      durable; raised as :class:`CheckpointWriteError` with the
+      destination untouched.
+
+    Raises :class:`CheckpointWriteError` on any OS-level failure; the
+    temp file is removed on the way out so a failed write leaves no
+    debris.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    payload = data
+    if fault == "torn-write":
+        payload = data[: len(data) // 2]
+    try:
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(path))
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointWriteError(f"durable write of {path} failed: {exc}") from exc
+    fsync_dir(path.parent)

@@ -1,0 +1,97 @@
+"""Typed failure modes of the checkpoint/restore subsystem.
+
+Recovery never guesses: every way a snapshot, journal, or resume can go
+wrong has its own exception type, and every one of them derives from
+:class:`RecoveryError` so callers can catch the family. The contract
+the chaos suite enforces is *fail closed*: a damaged artifact produces
+one of these errors (or is skipped in favour of an older valid
+snapshot) — it never produces silently wrong verdicts.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RecoveryError",
+    "CheckpointWriteError",
+    "CorruptSnapshotError",
+    "CorruptJournalError",
+    "NoCheckpointError",
+    "CheckpointConfigError",
+    "JournalExistsError",
+    "ResumeDivergenceError",
+]
+
+
+class RecoveryError(RuntimeError):
+    """Base class for every checkpoint/restore failure."""
+
+
+class CheckpointWriteError(RecoveryError):
+    """Writing a snapshot to disk failed (e.g. the device is full).
+
+    Raised by the checkpoint store when the durable write of a payload
+    or manifest fails. The recovery session treats it as survivable:
+    the engine keeps streaming on the previous snapshot and the failure
+    is counted (``checkpoint.failures``).
+    """
+
+
+class CorruptSnapshotError(RecoveryError):
+    """A snapshot payload or manifest failed validation.
+
+    Covers torn payloads (sha256 mismatch against the manifest),
+    truncated or non-JSON manifests, and manifests of an unknown format
+    version. ``CheckpointStore.latest`` skips corrupt snapshots and
+    falls back to the newest valid one.
+    """
+
+
+class CorruptJournalError(RecoveryError):
+    """The verdict journal is damaged beyond the torn tail.
+
+    A torn *final* line is expected after a crash (the append was cut
+    mid-write) and is truncated away on recovery; a checksum mismatch
+    anywhere earlier means the file was tampered with or the disk
+    corrupted it, and resuming from it would fabricate history.
+    """
+
+
+class NoCheckpointError(RecoveryError):
+    """The checkpoint directory holds no usable snapshot.
+
+    Not necessarily fatal: with an intact journal the recovery session
+    falls back to a full replay from the start of the stream — the
+    snapshot is an optimisation, not the source of truth.
+    """
+
+
+class CheckpointConfigError(RecoveryError):
+    """The snapshot was taken under an incompatible engine configuration.
+
+    Restoring state captured with different engine parameters (window
+    length, bin geometry, aggregation mode, sketch parameters, model
+    config) would produce a verdict stream that matches neither the old
+    run nor a fresh one; the restore refuses instead.
+    """
+
+
+class JournalExistsError(RecoveryError):
+    """The checkpoint directory already holds a journal.
+
+    Starting a *fresh* run into a directory with history would
+    interleave two verdict streams; pass ``resume=True`` (CLI:
+    ``--resume``) to continue the previous run, or point the run at an
+    empty directory.
+    """
+
+
+class ResumeDivergenceError(RecoveryError):
+    """Replayed verdicts differ from what the journal recorded.
+
+    During resume the ticks between the restored snapshot and the
+    journal head are re-ingested and must reproduce the journaled
+    verdicts bit for bit. A mismatch means the snapshot, the journal,
+    the input stream, or the code changed between incarnations —
+    continuing would emit a stream that is provably not the
+    uninterrupted one.
+    """

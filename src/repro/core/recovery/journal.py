@@ -1,0 +1,208 @@
+"""Append-only verdict journal: the authoritative emitted stream.
+
+The journal is what makes resume *exactly-once*. Every ingest tick the
+engine processes appends one line — even a tick that closed no bins
+appends an empty verdict list — so after a crash the journal head tells
+the resuming process precisely which ticks the dead incarnation already
+emitted. Snapshots are merely an optimisation that shortens replay; the
+journal is the source of truth.
+
+Line format (one per tick, strictly increasing)::
+
+    <crc32 hex, 8 chars> <canonical JSON>\\n
+
+where the canonical JSON is ``{"tick": t, "verdicts": [...]}`` encoded
+with sorted keys and minimal separators, so a given verdict list has
+exactly one byte representation. That buys two properties:
+
+* a resumed run appending the same verdicts produces a **byte-identical
+  journal file** to the uninterrupted run — CI can literally ``cmp``;
+* replay verification is string comparison: the resuming engine
+  re-canonicalises its replayed verdicts and compares against the
+  stored line body bit for bit.
+
+Crash semantics: each append is flushed and fsynced, so at most the
+*final* line can be torn (cut mid-write by the crash). Recovery
+truncates a torn tail and continues; a checksum failure anywhere before
+the tail means real corruption and raises
+:class:`~repro.core.recovery.errors.CorruptJournalError` — resuming
+from a doctored history would fabricate verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.recovery.durable import fsync_dir
+from repro.core.recovery.errors import CorruptJournalError
+
+__all__ = [
+    "VerdictJournal",
+    "JournalEntry",
+    "canonical_entry",
+    "verdict_to_obj",
+    "verdict_from_obj",
+]
+
+
+def verdict_to_obj(verdict) -> dict:
+    """Canonical JSON-safe form of one TargetVerdict."""
+    return {
+        "bin": int(verdict.bin),
+        "target": int(verdict.target_ip),
+        "ddos": bool(verdict.is_ddos),
+        "score": float(verdict.score),
+        "rules": [str(r) for r in verdict.matched_rules],
+    }
+
+
+def verdict_from_obj(obj: dict):
+    from repro.core.scrubber import TargetVerdict
+
+    return TargetVerdict(
+        bin=int(obj["bin"]),
+        target_ip=int(obj["target"]),
+        is_ddos=bool(obj["ddos"]),
+        score=float(obj["score"]),
+        matched_rules=tuple(obj["rules"]),
+    )
+
+
+def canonical_entry(tick: int, verdicts: Iterable) -> str:
+    """The one byte representation of a tick's emitted verdicts."""
+    body = {"tick": int(tick), "verdicts": [verdict_to_obj(v) for v in verdicts]}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _frame(body: str) -> bytes:
+    encoded = body.encode("utf-8")
+    crc = zlib.crc32(encoded) & 0xFFFFFFFF
+    return f"{crc:08x} ".encode("ascii") + encoded + b"\n"
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One recovered journal line."""
+
+    tick: int
+    body: str  #: the canonical JSON string, exactly as stored
+
+    def verdicts(self) -> list:
+        return [verdict_from_obj(o) for o in json.loads(self.body)["verdicts"]]
+
+
+class VerdictJournal:
+    """Append-only, fsync-per-append journal of emitted verdicts."""
+
+    FILENAME = "verdicts.journal"
+
+    def __init__(self, path: Path, entries: list[JournalEntry]):
+        self.path = Path(path)
+        self.entries = entries
+        self._fh = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: Path) -> "VerdictJournal":
+        """Open (creating if absent) and recover the journal at ``path``.
+
+        A torn final line is truncated away; corruption anywhere earlier
+        raises :class:`CorruptJournalError`.
+        """
+        path = Path(path)
+        entries: list[JournalEntry] = []
+        if path.exists():
+            raw = path.read_bytes()
+            entries, good_bytes = cls._recover(raw, path)
+            if good_bytes < len(raw):
+                with open(path, "r+b") as fh:
+                    fh.truncate(good_bytes)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        journal = cls(path, entries)
+        fsync_dir(path.parent)
+        return journal
+
+    @staticmethod
+    def _recover(raw: bytes, path: Path) -> tuple[list[JournalEntry], int]:
+        entries: list[JournalEntry] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            line = raw[offset : (len(raw) if newline < 0 else newline)]
+            entry = VerdictJournal._parse_line(line)
+            if entry is None:
+                if newline < 0 or newline == len(raw) - 1:
+                    # Torn tail: the crash cut the last append short.
+                    return entries, offset
+                raise CorruptJournalError(
+                    f"{path}: checksum failure at byte {offset} before the "
+                    "final line — the journal is corrupt, not merely torn"
+                )
+            if entries and entry.tick <= entries[-1].tick:
+                raise CorruptJournalError(
+                    f"{path}: tick {entry.tick} does not increase over "
+                    f"{entries[-1].tick} at byte {offset}"
+                )
+            entries.append(entry)
+            if newline < 0:
+                # Valid line but the trailing newline is missing: treat
+                # the line as committed (its checksum proves it whole).
+                return entries, len(raw)
+            offset = newline + 1
+        return entries, offset
+
+    @staticmethod
+    def _parse_line(line: bytes) -> Optional[JournalEntry]:
+        if len(line) < 10 or line[8:9] != b" ":
+            return None
+        try:
+            crc = int(line[:8], 16)
+        except ValueError:
+            return None
+        body = line[9:]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            return None
+        try:
+            decoded = body.decode("utf-8")
+            tick = json.loads(decoded)["tick"]
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            return None
+        return JournalEntry(tick=int(tick), body=decoded)
+
+    # ------------------------------------------------------------------
+    @property
+    def last_tick(self) -> int:
+        """Highest journaled tick, or -1 for an empty journal."""
+        return self.entries[-1].tick if self.entries else -1
+
+    def append(self, tick: int, verdicts: Iterable) -> JournalEntry:
+        """Durably append one tick's verdicts; returns the new entry."""
+        if tick <= self.last_tick:
+            raise ValueError(
+                f"journal tick must increase: {tick} <= {self.last_tick}"
+            )
+        body = canonical_entry(tick, verdicts)
+        self._fh.write(_frame(body))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        entry = JournalEntry(tick=int(tick), body=body)
+        self.entries.append(entry)
+        return entry
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "VerdictJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

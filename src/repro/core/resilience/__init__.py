@@ -21,12 +21,21 @@ verdict. See ``docs/ARCHITECTURE.md`` §5.5 for the failure model and
 """
 
 from repro.core.parallel.backends import ShardFailure
-from repro.core.resilience.faults import FAULT_KINDS, FAULTS_ENV, FaultPlan, FaultSpec
+from repro.core.resilience.faults import (
+    DISK_FAULT_KINDS,
+    FAULT_KINDS,
+    FAULTS_ENV,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.core.resilience.supervisor import SupervisedProcessBackend
 
 __all__ = [
+    "DISK_FAULT_KINDS",
     "FAULT_KINDS",
     "FAULTS_ENV",
+    "WORKER_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "ShardFailure",

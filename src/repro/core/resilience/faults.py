@@ -16,10 +16,11 @@ Plans come from code (tests build :class:`FaultSpec` objects directly)
 or from the ``REPRO_FAULTS`` environment variable / ``repro stream
 --faults`` flag, using a compact grammar::
 
-    spec      := kind "@" shard (":" key "=" value)*
+    spec      := kind "@" position (":" key "=" value)*
     plan      := spec (";" spec)*
     kind      := "crash" | "hang" | "slow" | "corrupt"
-    shard     := integer | "*"
+               | "torn-write" | "enospc" | "crash-at-checkpoint"
+    position  := integer | "*"
     key       := "batch" | "count" | "secs" | "scope"
 
 Examples::
@@ -31,12 +32,24 @@ Examples::
     hang@2:batch=5              # worker sleeps past any deadline
     slow@*:secs=0.05            # every shard's first attempt is 50 ms late
     corrupt@3:batch=2           # shard 3 answers with an unpicklable frame
+    torn-write@1                # 2nd checkpoint save leaves a torn payload
+    enospc@*:count=2            # first two checkpoint saves hit a full disk
+    crash-at-checkpoint@2       # process dies between payload and manifest
+                                # of the 3rd checkpoint (exit code 70)
 
 ``batch`` is the 0-based sequence number of classify dispatches to that
 shard (``scope=epoch`` restarts the count at every model broadcast);
 omitted means *every* batch. ``count`` is how many attempts of a
 matching batch receive the fault (default 1 — the first retry
 succeeds). ``secs`` parameterises ``hang``/``slow`` sleeps.
+
+*Worker* kinds target shards and are evaluated by the supervisor;
+*disk* kinds (:data:`DISK_FAULT_KINDS`) target the checkpoint store of
+:mod:`repro.core.recovery` instead — for them the ``@`` position is
+the 0-based *checkpoint ordinal* (the N-th save attempt of the run,
+``*`` = every attempt) and ``count`` caps total fires. Disk specs are
+invisible to worker dispatch and vice versa, so one plan can mix both:
+``crash@0:batch=3;torn-write@1``.
 """
 
 from __future__ import annotations
@@ -47,6 +60,8 @@ from typing import Optional, Sequence
 
 __all__ = [
     "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "DISK_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FAULTS_ENV",
@@ -55,8 +70,14 @@ __all__ = [
 #: Environment variable holding the default fault plan.
 FAULTS_ENV = "REPRO_FAULTS"
 
-#: Supported fault kinds, in the order operators usually reach for them.
-FAULT_KINDS = ("crash", "hang", "slow", "corrupt")
+#: Faults executed by shard workers (dispatched by the supervisor).
+WORKER_FAULT_KINDS = ("crash", "hang", "slow", "corrupt")
+
+#: Faults executed by the checkpoint store (see ``core.recovery``).
+DISK_FAULT_KINDS = ("torn-write", "enospc", "crash-at-checkpoint")
+
+#: Every supported fault kind.
+FAULT_KINDS = WORKER_FAULT_KINDS + DISK_FAULT_KINDS
 
 #: Default sleep lengths: a hang must outlive any sane deadline, a slow
 #: shard should only add jitter.
@@ -111,9 +132,26 @@ class FaultSpec:
             raise ValueError(f"fault scope must be 'run' or 'epoch', got {self.scope!r}")
         if self.seconds is not None and self.seconds < 0:
             raise ValueError("fault seconds must be >= 0")
+        if self.is_disk:
+            if self.batch is not None:
+                raise ValueError(
+                    f"disk fault {self.kind!r} takes no batch= option: the @ "
+                    "position already selects the checkpoint ordinal"
+                )
+            if self.seconds is not None:
+                raise ValueError(f"disk fault {self.kind!r} takes no secs= option")
+            if self.scope != "run":
+                raise ValueError(f"disk fault {self.kind!r} takes no scope= option")
+
+    @property
+    def is_disk(self) -> bool:
+        """True for checkpoint-store faults (``@`` = checkpoint ordinal)."""
+        return self.kind in DISK_FAULT_KINDS
 
     def matches(self, shard: int, run_seq: int, epoch_seq: int, attempt: int) -> bool:
         """True if this spec fires for the given dispatch coordinates."""
+        if self.is_disk:
+            return False
         if self.shard is not None and self.shard != shard:
             return False
         if attempt >= self.count:
@@ -157,11 +195,24 @@ class FaultPlan:
     def directive(
         self, shard: int, run_seq: int, epoch_seq: int, attempt: int
     ) -> Optional[tuple[str, float]]:
-        """The fault directive for one dispatch attempt, if any fires."""
+        """The fault directive for one dispatch attempt, if any fires.
+
+        Disk specs never match a worker dispatch (``FaultSpec.matches``
+        returns False for them); they are consumed by the checkpoint
+        store via :meth:`disk_specs` instead.
+        """
         for spec in self.specs:
             if spec.matches(shard, run_seq, epoch_seq, attempt):
                 return spec.directive()
         return None
+
+    def worker_specs(self) -> tuple[FaultSpec, ...]:
+        """The specs the supervisor dispatches to shard workers."""
+        return tuple(s for s in self.specs if not s.is_disk)
+
+    def disk_specs(self) -> tuple[FaultSpec, ...]:
+        """The specs the checkpoint store injects on save attempts."""
+        return tuple(s for s in self.specs if s.is_disk)
 
     # -- construction ---------------------------------------------------
     @classmethod

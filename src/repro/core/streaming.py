@@ -28,6 +28,7 @@ import numpy as np
 from repro import obs
 from repro.bgp.blackhole import BlackholeRegistry
 from repro.bgp.messages import Update
+from repro.core.drift import DriftTracker
 from repro.core.labeling.balancer import balance
 from repro.core.scrubber import (
     IXPScrubber,
@@ -194,6 +195,8 @@ class StreamingScrubber(ShardableEngine):
         self._day_buffers: "OrderedDict[int, list[FlowDataset]]" = OrderedDict()
         self._last_trained_day: Optional[int] = None
         self._horizon = 0
+        #: Observational drift detector over the per-bin verdict mix.
+        self._drift = DriftTracker()
         # Metric dedupe state: a bin can close more than once when late
         # flows re-open it at a bin boundary; the counters below must
         # count each bin / (bin, target) verdict once. One int / small
@@ -220,6 +223,26 @@ class StreamingScrubber(ShardableEngine):
         """
         scrubber._require_fitted()
         self._scrubber = scrubber
+        return self
+
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of all mutable state (see ``core.recovery``)."""
+        from repro.core.recovery.state_codec import capture_engine_state
+
+        return capture_engine_state(self)
+
+    def restore_state(self, state: dict) -> "StreamingScrubber":
+        """Restore a :meth:`capture_state` snapshot onto this engine.
+
+        The engine must be freshly constructed with the same parameters
+        the snapshot was taken under; raises
+        :class:`~repro.core.recovery.errors.CheckpointConfigError`
+        otherwise.
+        """
+        from repro.core.recovery.state_codec import restore_engine_state
+
+        restore_engine_state(self, state)
         return self
 
     # ------------------------------------------------------------------
@@ -266,8 +289,27 @@ class StreamingScrubber(ShardableEngine):
     def _close_bins(self, current_bin: Optional[int]) -> list[TargetVerdict]:
         closed = self._pop_closeable(current_bin)
         verdicts = self._classify_closed(closed)
+        self._observe_drift(verdicts)
         self._label_pending(force=False, current_bin=current_bin)
         return verdicts
+
+    @property
+    def drift_trips(self) -> int:
+        """Times the verdict-mix drift detector has tripped so far."""
+        return self._drift.trips
+
+    def _observe_drift(self, verdicts: list[TargetVerdict]) -> None:
+        """Feed the drift tracker one DDoS-share sample per scored bin."""
+        if not verdicts:
+            return
+        by_bin: dict[int, list[TargetVerdict]] = {}
+        for v in verdicts:
+            by_bin.setdefault(v.bin, []).append(v)
+        for bin_id in sorted(by_bin):
+            group = by_bin[bin_id]
+            share = sum(1 for v in group if v.is_ddos) / len(group)
+            if self._drift.observe(share):
+                obs.counter(names.C_STREAMING_DRIFT_TRIPS).inc()
 
     def _pop_closeable(
         self, current_bin: Optional[int]
@@ -378,6 +420,7 @@ class StreamingScrubber(ShardableEngine):
             scrubber.fit(training)
         self._scrubber = scrubber
         self._last_trained_day = day
+        self._drift.rebaseline()
         obs.counter(names.C_STREAMING_RETRAININGS).inc()
         obs.gauge(names.G_STREAMING_TRAINING_FLOWS).set(len(training))
         # Evict buffers that can never be in a future window.

@@ -25,6 +25,13 @@ C_STREAMING_BINS_CLOSED = "streaming.bins_closed"
 C_STREAMING_VERDICTS_EMITTED = "streaming.verdicts_emitted"
 C_STREAMING_DDOS_VERDICTS = "streaming.ddos_verdicts"
 C_STREAMING_RETRAININGS = "streaming.retrainings"
+C_STREAMING_DRIFT_TRIPS = "streaming.drift_trips"
+C_CHECKPOINT_SAVES = "checkpoint.saves"
+C_CHECKPOINT_FAILURES = "checkpoint.failures"
+C_CHECKPOINT_JOURNAL_APPENDS = "checkpoint.journal_appends"
+C_CHECKPOINT_VERDICTS_SUPPRESSED = "checkpoint.verdicts_suppressed"
+C_CHECKPOINT_SNAPSHOTS_REJECTED = "checkpoint.snapshots_rejected"
+C_CHECKPOINT_RESUMES = "checkpoint.resumes"
 C_LABELING_FLOWS_IN = "labeling.flows_in"
 C_LABELING_FLOWS_KEPT = "labeling.flows_kept"
 C_RULES_TRANSACTIONS = "rules.transactions"
@@ -65,6 +72,8 @@ G_STREAMING_TRAINING_FLOWS = "streaming.training_flows"
 G_STREAMING_OPEN_BINS = "streaming.open_bins"
 G_STREAMING_PENDING_LABEL_BINS = "streaming.pending_label_bins"
 G_STREAMING_DAY_BUFFERS = "streaming.day_buffers"
+G_CHECKPOINT_STATE_BYTES = "checkpoint.state_bytes"
+G_CHECKPOINT_RESUME_LAG_TICKS = "checkpoint.resume_lag_ticks"
 G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
 G_MODELS_ENSEMBLE_NODES = "models.ensemble_nodes"
 G_PARALLEL_SHARDS = "parallel.shards"
@@ -79,6 +88,8 @@ SPAN_STREAMING_CLOSE_BIN = "streaming.close_bin"
 SPAN_STREAMING_CLASSIFY_BIN = "streaming.classify_bin"
 SPAN_STREAMING_LABEL_BIN = "streaming.label_bin"
 SPAN_STREAMING_RETRAIN = "streaming.retrain"
+SPAN_CHECKPOINT_SAVE = "checkpoint.save"
+SPAN_CHECKPOINT_RESTORE = "checkpoint.restore"
 SPAN_SCRUBBER_FIT = "scrubber.fit"
 SPAN_SCRUBBER_MINE_RULES = "scrubber.mine_rules"
 SPAN_SCRUBBER_SCORE = "scrubber.score"

@@ -27,6 +27,10 @@ across scales while the collateral denominator grows.
 
 from __future__ import annotations
 
+import tempfile
+from collections import Counter
+from pathlib import Path
+
 import numpy as np
 
 from repro import obs
@@ -438,6 +442,8 @@ def _build_slow_drift(seed: int, scale: float) -> ScenarioSpec:
             Check("ramp detected", "detection_recall", ">=", 1.0),
             Check("detected within 8 bins of threshold",
                   "detection_latency_max_bins", "<=", 8.0),
+            Check("drift detector tripped on the ramp",
+                  "drift_trips", ">=", 1.0),
             _LOW_COLLATERAL,
         )
     )
@@ -497,6 +503,121 @@ def _build_collateral_spike(seed: int, scale: float) -> ScenarioSpec:
     )
 
 
+def _build_coordinator_crash(seed: int, scale: float) -> ScenarioSpec:
+    builder = _SceneBuilder("coordinator_crash", seed, scale, n_bins=64)
+    builder.run_benign()
+    # One attack fully classified before the crash tick, one spanning
+    # it: the resumed engine must carry the open buffers, blackhole
+    # registry and pending labels across the restart to score both.
+    builder.attack(
+        "pre_crash", [0x0A910001], start_bin=10, end_bin=22,
+        vectors=("DNS", "NTP"), flows_per_minute=70.0,
+    )
+    builder.attack(
+        "spans_crash", [0x0A910002], start_bin=30, end_bin=56,
+        vectors=("SSDP",), flows_per_minute=70.0,
+    )
+    return builder.finish(
+        checks=(
+            *_detects_all(latency_bins=4.0),
+            Check("no verdicts lost across the crash",
+                  "verdicts_lost", "<=", 0.0),
+            Check("no verdicts duplicated across the crash",
+                  "verdicts_duplicated", "<=", 0.0),
+            Check("resumed stream bit-identical to uninterrupted",
+                  "resume_exact", ">=", 1.0),
+            Check("resume replayed at most one checkpoint period",
+                  "resume_lag_ticks", "<=", float(_CRASH_EVERY)),
+        ),
+        label_grace_bins=6,
+    )
+
+
+#: Conduction constants for ``coordinator_crash``: 8-bin ticks, a
+#: snapshot every 3 ticks, SIGKILL-equivalent abandonment at ~60% of
+#: the stream (between checkpoints, so resume must replay the journal).
+_CRASH_CHUNK_BINS = 8
+_CRASH_EVERY = 3
+
+
+def _conduct_coordinator_crash(spec, make_engine):
+    """Crash the coordinator mid-stream, resume, score the splice.
+
+    Runs the uninterrupted reference first, then a checkpointed run
+    abandoned at a deterministic tick (no flush, no close — the moral
+    equivalent of ``kill -9``), then a fresh engine resuming from disk.
+    The concatenated verdict stream is scored; the extra metrics let
+    the scenario's checks pin zero loss, zero duplication and bounded
+    replay.
+    """
+    from repro.core.recovery import RecoverySession, drive_engine
+
+    engine = make_engine()
+    try:
+        reference = drive_engine(
+            engine, spec.flows, spec.updates,
+            chunk_bins=_CRASH_CHUNK_BINS, start_bin=0, end_bin=spec.n_bins,
+        )
+    finally:
+        engine.close()
+
+    n_ticks = -(-spec.n_bins // _CRASH_CHUNK_BINS)
+    crash_tick = max(0, (n_ticks * 3) // 5)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        crashed = make_engine()
+        try:
+            session = RecoverySession(
+                crashed, directory, every=_CRASH_EVERY,
+            )
+            first = drive_engine(
+                crashed, spec.flows, spec.updates,
+                chunk_bins=_CRASH_CHUNK_BINS, session=session,
+                start_bin=0, end_bin=spec.n_bins,
+                stop_after_tick=crash_tick,
+            )
+            # Abandoned, not closed: every journal append is already
+            # fsynced, so stopping here is equivalent to SIGKILL.
+        finally:
+            crashed.close()
+
+        resumed = make_engine()
+        try:
+            session = RecoverySession(
+                resumed, directory, every=_CRASH_EVERY, resume=True,
+            )
+            lag = session.journaled_tick - session.restored_tick
+            rest = drive_engine(
+                resumed, spec.flows, spec.updates,
+                chunk_bins=_CRASH_CHUNK_BINS, session=session,
+                start_bin=0, end_bin=spec.n_bins,
+            )
+            session.close()
+        finally:
+            resumed.close()
+
+    combined = first + rest
+    ref_keys = Counter((v.bin, v.target_ip) for v in reference)
+    got_keys = Counter((v.bin, v.target_ip) for v in combined)
+    lost = sum((ref_keys - got_keys).values())
+    duplicated = sum((got_keys - ref_keys).values())
+    exact = len(combined) == len(reference) and all(
+        a.bin == b.bin
+        and a.target_ip == b.target_ip
+        and a.is_ddos == b.is_ddos
+        and a.score == b.score
+        and tuple(a.matched_rules) == tuple(b.matched_rules)
+        for a, b in zip(combined, reference)
+    )
+    metrics = {
+        "verdicts_lost": float(lost),
+        "verdicts_duplicated": float(duplicated),
+        "resume_exact": float(exact),
+        "resume_lag_ticks": float(lag),
+    }
+    return combined, metrics
+
+
 register(Scenario(
     "volumetric_flood",
     "one loud DNS+NTP amplification flood against a single victim",
@@ -536,4 +657,10 @@ register(Scenario(
     "collateral_spike",
     "attack on an already-popular destination under a benign crowd",
     _build_collateral_spike,
+))
+register(Scenario(
+    "coordinator_crash",
+    "coordinator killed mid-stream; checkpointed resume loses nothing",
+    _build_coordinator_crash,
+    conduct=_conduct_coordinator_crash,
 ))

@@ -107,11 +107,25 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, registered scenario builder."""
+    """A named, registered scenario builder.
+
+    ``conduct`` overrides *how* the spec is driven: it receives the
+    spec and a zero-argument engine factory (each call returns a fresh,
+    warm-started engine wired to the run's registry) and returns
+    ``(verdicts, extra_metrics)``. The default conduction drives one
+    engine straight through; recovery scenarios use the hook to crash
+    and resume mid-stream. ``extra_metrics`` must be JSON-safe floats —
+    they join the checkable metrics and the scorecard's ``conduct``
+    section.
+    """
 
     name: str
     summary: str
     build: Callable[[int, float], ScenarioSpec]
+    conduct: Optional[
+        Callable[[ScenarioSpec, Callable[[], ShardedStreamingScrubber]],
+                 tuple[list, dict]]
+    ] = None
 
 
 @dataclass(frozen=True)
@@ -228,6 +242,17 @@ def _drive(
     return verdicts
 
 
+def _conduct_plain(
+    spec: ScenarioSpec, make_engine: Callable[[], ShardedStreamingScrubber]
+) -> tuple[list[TargetVerdict], dict]:
+    """Default conduction: one engine, straight through the stream."""
+    engine = make_engine()
+    try:
+        return _drive(engine, spec), {}
+    finally:
+        engine.close()
+
+
 def run_scenario(
     name: str,
     seed: int = 7,
@@ -255,27 +280,28 @@ def run_scenario(
             spec = scenario.build(seed, scale)
     warm = bootstrap_scrubber(seed, **dict(spec.bootstrap))
 
-    engine = ShardedStreamingScrubber(
-        config=ENGINE_CONFIG,
-        n_shards=shards,
-        backend=backend,
-        backend_options=dict(backend_options or {}),
-        equivalence_check=False,
-        agg=agg,
-        sketch_params=sketch_params,
-        registry=registry,
-        bins_per_day=spec.bins_per_day,
-        seed=derive_seed(seed, 20),
-        **dict(spec.engine),
-    )
-    try:
+    def make_engine() -> ShardedStreamingScrubber:
+        engine = ShardedStreamingScrubber(
+            config=ENGINE_CONFIG,
+            n_shards=shards,
+            backend=backend,
+            backend_options=dict(backend_options or {}),
+            equivalence_check=False,
+            agg=agg,
+            sketch_params=sketch_params,
+            registry=registry,
+            bins_per_day=spec.bins_per_day,
+            seed=derive_seed(seed, 20),
+            **dict(spec.engine),
+        )
         engine.warm_start(warm)
-        with obs.use_registry(registry):
-            with obs.span(names.SPAN_SCENARIO_RUN):
-                verdicts = _drive(engine, spec)
-        snap = obs.snapshot(registry)
-    finally:
-        engine.close()
+        return engine
+
+    conduct = scenario.conduct or _conduct_plain
+    with obs.use_registry(registry):
+        with obs.span(names.SPAN_SCENARIO_RUN):
+            verdicts, conduct_metrics = conduct(spec, make_engine)
+    snap = obs.snapshot(registry)
 
     with obs.use_registry(registry):
         with obs.span(names.SPAN_SCENARIO_SCORE):
@@ -284,8 +310,11 @@ def run_scenario(
             # may be referenced by checks (e.g. retrain storms).
             counters = {c["name"]: int(c["value"]) for c in snap["counters"]}
             retrainings = counters.get(names.C_STREAMING_RETRAININGS, 0)
+            drift_trips = counters.get(names.C_STREAMING_DRIFT_TRIPS, 0)
             checkable = dict(metrics)
             checkable["retrainings"] = retrainings
+            checkable["drift_trips"] = drift_trips
+            checkable.update(conduct_metrics)
             check_results, passed = evaluate_checks(spec.checks, checkable)
         n_failed = sum(1 for r in check_results if not r["passed"])
         if n_failed:
@@ -309,7 +338,8 @@ def run_scenario(
             "attacked_targets": len(spec.truth.attacked_targets()),
             "benign_targets": len(spec.truth.benign_targets),
         },
-        "engine": {"retrainings": retrainings},
+        "engine": {"retrainings": retrainings, "drift_trips": drift_trips},
+        "conduct": dict(conduct_metrics),
         "metrics": metrics,
         "attacks": attack_details,
         "checks": check_results,

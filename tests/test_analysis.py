@@ -250,6 +250,43 @@ CORPUS = {
             def emit():
                 return counter("rogue.metric")
             """,
+        # RS501/RS502 positives: bare writes and renames in a
+        # recovery-critical module that bypass the durable writer.
+        "repro/core/recovery/__init__.py": "",
+        "repro/core/recovery/snapshot.py": """\
+            import os
+            from pathlib import Path
+
+
+            def save(path, data):
+                with open(path, "w") as handle:  # bare write
+                    handle.write(data)
+                Path(path).write_bytes(data.encode())
+                os.replace(path + ".tmp", path)  # rename, no fsync
+
+
+            def load(path):
+                with open(path) as handle:  # read-only: allowed
+                    return handle.read()
+            """,
+        # RS501/RS502 negative: the sanctioned writer module itself.
+        "repro/core/recovery/durable.py": """\
+            import os
+
+
+            def durable_write(path, data):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            """,
+        # RS501 negative: writes outside the durable scope are fine.
+        "repro/core/exporter.py": """\
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
     }.items()
 }
 
@@ -537,6 +574,23 @@ def test_rs404_kind_mismatch(corpus):
     assert not {
         f.line for f in result.findings if f.rule == "RS404"
     } & clean
+
+
+def test_rs501_bare_writes_in_durable_modules(corpus):
+    _, result = corpus
+    snap = "repro/core/recovery/snapshot.py"
+    assert hits(result, "RS501") == {
+        (src(snap), line_of(snap, 'open(path, "w")')),
+        (src(snap), line_of(snap, "write_bytes")),
+    }
+
+
+def test_rs502_bare_rename_in_durable_modules(corpus):
+    _, result = corpus
+    snap = "repro/core/recovery/snapshot.py"
+    assert hits(result, "RS502") == {
+        (src(snap), line_of(snap, "os.replace(path")),
+    }
 
 
 # --------------------------------------------------------------------------

@@ -204,7 +204,8 @@ class TestRegistry:
         assert len(names) >= 6
         for required in ("flash_crowd", "volumetric_flood", "carpet_bombing",
                          "retrain_storm", "blackhole_churn", "slow_drift",
-                         "novel_vector", "collateral_spike"):
+                         "novel_vector", "collateral_spike",
+                         "coordinator_crash"):
             assert required in names
 
     def test_unknown_scenario_raises_with_known_names(self):
