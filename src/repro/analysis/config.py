@@ -73,6 +73,12 @@ class LintConfig:
         "repro.core.parallel.backends._worker_main",
         "repro.core.parallel.backends._execute_fault",
     )
+    #: Module prefixes allowed to write raw shared-memory segment bytes
+    #: (RS204 scope): the ring/model-plane protocol implementation owns
+    #: every frame and control-block layout; a ``.buf`` write anywhere
+    #: else bypasses the seqno/generation/crc discipline documented in
+    #: ``docs/IPC.md``.
+    shm_protocol_modules: tuple[str, ...] = ("repro.core.parallel.shm",)
     #: The obs name catalogue module and the page documenting it.
     names_module: str = "repro.obs.names"
     metrics_doc: Optional[Path] = None

@@ -39,6 +39,7 @@ RULES: dict[str, str] = {
     "RS201": "module-global write reachable from shard-worker code",
     "RS202": "class-level attribute write reachable from shard-worker code",
     "RS203": "closure (nonlocal) write reachable from shard-worker code",
+    "RS204": "raw shared-memory buffer write outside the IPC protocol modules",
     # layering
     "RS301": "import violates the ARCHITECTURE.md layer contract",
     "RS302": "third-party import outside the dependency allowlist",

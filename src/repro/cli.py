@@ -308,6 +308,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.scrubber import ScrubberConfig
 
     backend, backend_options = _resolve_stream_backend(args)
+    if args.ipc != "pipe":
+        # Shared-memory transport needs worker processes to share with.
+        if backend == "serial":
+            print(
+                "error: --ipc shm requires --backend process or supervised",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        backend_options["ipc"] = args.ipc
     sketch_params = _resolve_stream_agg(args)
     profile, capture = _stream_workload(args.days, args.seed)
     engine = ShardedStreamingScrubber(
@@ -353,6 +362,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"{gauges.get('sketch.memory_bytes', 0) / 1e6:.1f} MB state, "
             f"flow overcount <= {gauges.get('sketch.error_bound', 0):,.0f}"
         )
+    ipc_note = ""
+    if args.ipc == "shm":
+        counters = {c["name"]: int(c["value"]) for c in snap["counters"]}
+        ipc_note = (
+            f"; ipc: shm, {counters.get('parallel.ipc_ring_bytes', 0) / 1e6:.1f}"
+            f" MB ring traffic, {counters.get('parallel.ipc_fallbacks', 0)} "
+            f"pipe fallbacks, {counters.get('parallel.broadcast_skipped', 0)} "
+            "broadcasts skipped"
+        )
     recovery_note = ""
     if session is not None:
         counters = {c["name"]: int(c["value"]) for c in snap["counters"]}
@@ -369,7 +387,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"in {elapsed:.1f}s ({rate:,.0f} flows/s) across {args.shards} "
         f"{backend} shard(s); model ready: {engine.is_ready}"
         f"{'; equivalence checked' if args.check else ''}"
-        f"{resilience_note}{sketch_note}{recovery_note}]",
+        f"{resilience_note}{ipc_note}{sketch_note}{recovery_note}]",
     )
     return 0
 
@@ -559,6 +577,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=("serial", "process", "supervised"),
         default="serial",
         help="shard execution backend (supervised = fault-tolerant workers)",
+    )
+    stream_parser.add_argument(
+        "--ipc",
+        choices=("pipe", "shm"),
+        default="pipe",
+        help="worker transport for process backends: pickled pipe "
+        "messages (default) or zero-copy shared-memory rings with a "
+        "map-once model plane (docs/IPC.md)",
     )
     stream_parser.add_argument(
         "--check",

@@ -10,11 +10,15 @@ of one retrain epoch. Three implementations:
   default: zero IPC cost, same results, and on a single-core host the
   batched execution alone carries the speedup.
 * :class:`ProcessBackend` — persistent worker processes (``fork`` start
-  method when available, ``spawn`` otherwise) fed over pipes with one
-  chunked message per closed-bin batch; models travel as pickle blobs,
-  flow columns as raw numpy arrays, verdicts come back as plain
-  dataclass lists. A dead worker raises a typed :class:`ShardFailure`
-  instead of hanging or leaking a raw pipe error.
+  method when available, ``spawn`` otherwise). Control messages travel
+  over pipes; batch and model payloads travel either as pickled pipe
+  messages (``ipc="pipe"``, the default) or through per-shard
+  shared-memory rings and a map-once model plane (``ipc="shm"``, see
+  :mod:`repro.core.parallel.shm` and ``docs/IPC.md``) with the pipe
+  demoted to a doorbell. Verdicts come back as plain dataclass lists
+  either way — the transport can never change results. A dead worker
+  raises a typed :class:`ShardFailure` instead of hanging or leaking a
+  raw pipe error.
 * :class:`~repro.core.resilience.SupervisedProcessBackend` — the
   production wrapper: per-request deadlines, automatic restart with
   model re-broadcast, poison-batch quarantine and graceful degradation
@@ -46,6 +50,7 @@ from typing import Optional, Sequence
 
 from repro import obs
 from repro.core.features.sketches import SketchAggregator, SketchParams
+from repro.core.parallel import shm
 from repro.core.scrubber import IXPScrubber, TargetVerdict
 from repro.netflow.dataset import FlowDataset
 from repro.obs import names
@@ -56,7 +61,22 @@ __all__ = [
     "ShardFailure",
     "make_backend",
     "BACKENDS",
+    "IPC_MODES",
 ]
+
+#: Worker transports of the process backends (see docs/IPC.md).
+IPC_MODES = ("pipe", "shm")
+
+#: Reply tag a worker sends when a shared-memory frame fails
+#: validation (crc/seqno/generation). The unsupervised backend turns it
+#: into a :class:`ShardFailure`; the supervisor restarts and retries.
+_IPC_ERROR = "__ipc_error__"
+
+
+def _is_ipc_error(reply) -> bool:
+    return (
+        isinstance(reply, tuple) and len(reply) == 2 and reply[0] == _IPC_ERROR
+    )
 
 
 class ShardFailure(RuntimeError):
@@ -87,6 +107,9 @@ class SerialBackend:
 
     def broadcast(self, scrubber: IXPScrubber) -> None:
         """Deploy a newly trained model to all shards."""
+        if scrubber is self._scrubber:
+            obs.counter(names.C_PARALLEL_BROADCAST_SKIPPED).inc()
+            return
         self._scrubber = scrubber
         self._assembler = scrubber.make_assembler()
 
@@ -164,17 +187,46 @@ def _execute_fault(conn, directive) -> bool:
     return False
 
 
-def _worker_main(conn, shard_index: int) -> None:
+def _close_retired_segments(retired: list) -> list:
+    """Close model segments whose arrays may still be referenced.
+
+    A worker that just swapped models drops its references to the old
+    scrubber, but the interpreter may not have released every exported
+    buffer yet — those segments stay on the retired list (bounded: one
+    per model version) and are retried at the next swap.
+    """
+    still_pinned = []
+    for segment in retired:
+        try:
+            segment.close()
+        except BufferError:
+            still_pinned.append(segment)
+    return still_pinned
+
+
+def _worker_main(conn, shard_index: int, ring_name: Optional[str] = None) -> None:
     """Worker loop: react to model / classify / snapshot / stop messages.
 
-    A classify message may carry an optional fault directive as its
-    fourth element — evaluated by the supervisor's deterministic
+    A classify message may carry an optional fault directive — evaluated
+    by the supervisor's deterministic
     :class:`~repro.core.resilience.FaultPlan` and executed here, so
     chaos tests fail in the real worker code path.
+
+    With ``ipc="shm"`` the worker attaches its shard's ring once at
+    startup and two extra message kinds arrive: ``model_shm`` (map the
+    named model segment read-only, rebuild the scrubber from it) and
+    ``classify_shm`` (read the framed batch out of the ring as
+    zero-copy views, classify, ack the seqno, reply over the pipe). A
+    frame that fails validation is answered with an ``__ipc_error__``
+    tuple instead of verdicts — and *not* acked, so the supervisor's
+    reclaim owns the cleanup.
     """
     registry = obs.MetricRegistry()
     scrubber: Optional[IXPScrubber] = None
     assembler = None
+    ring = shm.ShmRing.attach(ring_name) if ring_name is not None else None
+    model_segment = None
+    retired_segments: list = []
     while True:
         try:
             message = conn.recv()
@@ -186,13 +238,40 @@ def _worker_main(conn, shard_index: int) -> None:
         if kind == "model":
             scrubber = pickle.loads(message[1])
             assembler = scrubber.make_assembler()
-        elif kind == "classify":
-            columns, min_flows = message[1], message[2]
-            directive = message[3] if len(message) > 3 else None
-            agg = message[4] if len(message) > 4 else None
-            if directive is not None and _execute_fault(conn, directive):
-                continue
-            flows = FlowDataset(columns)
+        elif kind == "model_shm":
+            segment_name, version = message[1], message[2]
+            # Drop references into the previous segment before loading,
+            # so its buffers can actually be released.
+            scrubber = assembler = None
+            scrubber, segment = shm.load_model(segment_name, version)
+            assembler = scrubber.make_assembler()
+            if model_segment is not None:
+                retired_segments.append(model_segment)
+            model_segment = segment
+            retired_segments = _close_retired_segments(retired_segments)
+            with obs.use_registry(registry):
+                obs.counter(names.C_PARALLEL_IPC_SEGMENT_REMAPS).inc()
+        elif kind in ("classify", "classify_shm"):
+            if kind == "classify":
+                columns, min_flows = message[1], message[2]
+                directive = message[3] if len(message) > 3 else None
+                agg = message[4] if len(message) > 4 else None
+                if directive is not None and _execute_fault(conn, directive):
+                    continue
+                flows = FlowDataset(columns)
+                seqno = None
+            else:
+                seqno, offset, nbytes, min_flows, directive, agg = message[1:7]
+                # Faults fire before the ring read: a crash here leaves
+                # the frame unacked, which is exactly the orphan the
+                # supervisor's reclaim path must clean up.
+                if directive is not None and _execute_fault(conn, directive):
+                    continue
+                try:
+                    flows = ring.read_flows(seqno, offset, nbytes)
+                except shm.ShmProtocolError as exc:
+                    conn.send((_IPC_ERROR, str(exc)))
+                    continue
             with obs.use_registry(registry):
                 with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
                     obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
@@ -202,19 +281,54 @@ def _worker_main(conn, shard_index: int) -> None:
                         reply = scrubber.classify_flows_batch(
                             flows, min_flows=min_flows, assembler=assembler
                         )
+            if seqno is not None:
+                # Verdicts/sketch states copy out of the batch, so the
+                # frame is dead; ack before replying — the coordinator
+                # may dispatch the next batch as soon as it hears back.
+                del flows
+                ring.ack(seqno)
             conn.send(reply)
+        elif kind in ("echo", "echo_shm"):
+            # Transport self-test for the IPC benchmark: rebuild the
+            # batch exactly as classify would, reply with the row count.
+            if kind == "echo":
+                flows = FlowDataset(message[1])
+                conn.send(len(flows))
+            else:
+                seqno, offset, nbytes = message[1], message[2], message[3]
+                try:
+                    flows = ring.read_flows(seqno, offset, nbytes)
+                except shm.ShmProtocolError as exc:
+                    conn.send((_IPC_ERROR, str(exc)))
+                    continue
+                rows = len(flows)
+                del flows
+                ring.ack(seqno)
+                conn.send(rows)
         elif kind == "snapshot":
             conn.send(obs.snapshot(registry))
+    if ring is not None:
+        ring.close()
     conn.close()
 
 
 class ProcessBackend:
-    """Persistent worker processes, one per shard, fed over pipes.
+    """Persistent worker processes, one per shard.
 
     Workers stay alive across bins so the model and its frozen-WoE
     assembler are deserialised once per retrain, not once per bin. All
     requests are answered in shard order, keeping the reduce step
     deterministic regardless of worker scheduling.
+
+    ``ipc="pipe"`` (default) moves batches and models as pickled pipe
+    messages. ``ipc="shm"`` moves batch bytes through a per-shard
+    :class:`~repro.core.parallel.shm.ShmRing` and publishes each model
+    once into a :class:`~repro.core.parallel.shm.ModelPlane` segment
+    that workers map read-only; the pipe carries only doorbells,
+    replies and control. Oversized batches (``ring_bytes``) fall back
+    to the pipe automatically (``parallel.ipc_fallbacks``). The
+    transport is invisible in the results: verdicts are bit-identical
+    across modes.
 
     Failure model: this backend does not *recover* — a worker found
     dead raises :class:`ShardFailure` so the caller can decide. Use
@@ -224,8 +338,20 @@ class ProcessBackend:
 
     name = "process"
 
-    def __init__(self, n_shards: int, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        n_shards: int,
+        start_method: Optional[str] = None,
+        ipc: str = "pipe",
+        ring_bytes: int = shm.DEFAULT_RING_BYTES,
+    ):
+        if ipc not in IPC_MODES:
+            raise ValueError(
+                f"unknown ipc mode {ipc!r}; expected one of {IPC_MODES}"
+            )
         self.n_shards = n_shards
+        self.ipc = ipc
+        self.ring_bytes = int(ring_bytes)
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -233,13 +359,24 @@ class ProcessBackend:
         # Pre-size so close() is safe however far __init__ got.
         self._conns: list = [None] * n_shards
         self._procs: list = [None] * n_shards
-        # Reap orphaned workers if the owner never calls close(). The
-        # finalizer captures the slot *lists* (mutated in place by
-        # _start_worker and the supervisor's restart path), never self.
+        self._rings: list = [None] * n_shards
+        self._plane_box: list = [None]  # [ModelPlane] once shm is up
+        self._ring_seq = [0] * n_shards
+        self._published_model: Optional[IXPScrubber] = None
+        self._model_message: Optional[tuple] = None
+        # Reap orphaned workers (and unlink their segments) if the
+        # owner never calls close(). The finalizer captures the slot
+        # *lists* (mutated in place by _start_worker, the supervisor's
+        # restart path, and the plane's republish), never self.
         self._finalizer = weakref.finalize(
-            self, _reap_orphans, self._conns, self._procs
+            self, _reap_orphans, self._conns, self._procs,
+            self._rings, self._plane_box,
         )
         try:
+            if ipc == "shm":
+                for shard in range(n_shards):
+                    self._rings[shard] = shm.ShmRing(self.ring_bytes)
+                self._plane_box[0] = shm.ModelPlane()
             for shard in range(n_shards):
                 self._start_worker(shard)
         except BaseException:
@@ -249,33 +386,102 @@ class ProcessBackend:
     def _start_worker(self, shard: int) -> None:
         """(Re)spawn the worker process serving one shard slot."""
         parent_conn, child_conn = self._ctx.Pipe()
+        ring = self._rings[shard]
         proc = self._ctx.Process(
-            target=_worker_main, args=(child_conn, shard), daemon=True
+            target=_worker_main,
+            args=(child_conn, shard, None if ring is None else ring.name),
+            daemon=True,
         )
         proc.start()
         child_conn.close()
         self._conns[shard] = parent_conn
         self._procs[shard] = proc
 
-    def broadcast(self, scrubber: IXPScrubber) -> None:
-        """Ship the pickled model to every worker.
+    def _publish_model(self, scrubber: IXPScrubber) -> tuple:
+        """Serialise the model once; return the per-worker message.
 
-        Raises :class:`ShardFailure` naming the dead shard if a worker
-        exited (or its pipe broke) before the model reached it.
+        Pipe mode pickles to a blob every worker receives verbatim;
+        shm mode publishes a fresh model-plane segment and the message
+        is just its (name, version) doorbell.
         """
-        # The scrubber's tree models pickle as compiled flat-array
-        # kernels (node graphs are derived state and excluded), so the
-        # payload is a handful of contiguous buffers per ensemble.
-        blob = pickle.dumps(scrubber)
-        obs.counter(names.C_PARALLEL_BROADCAST_BYTES).inc(len(blob))
+        plane = self._plane_box[0]
+        if plane is not None:
+            ref = plane.publish(scrubber)
+            obs.counter(names.C_PARALLEL_BROADCAST_BYTES).inc(ref.nbytes)
+            obs.gauge(names.G_PARALLEL_IPC_RING_CAPACITY).set(self.ring_bytes)
+            message = ("model_shm", ref.name, ref.version)
+        else:
+            # The scrubber's tree models pickle as compiled flat-array
+            # kernels (node graphs are derived state and excluded), so
+            # the payload is a handful of contiguous buffers.
+            blob = pickle.dumps(scrubber)
+            obs.counter(names.C_PARALLEL_BROADCAST_BYTES).inc(len(blob))
+            message = ("model", blob)
+        self._model_message = message
+        return message
+
+    def broadcast(self, scrubber: IXPScrubber) -> None:
+        """Ship the model to every worker, serialising it exactly once.
+
+        An unchanged model (same object as the last broadcast — e.g. an
+        epoch that ended without a retrain) is not re-serialised or
+        re-sent: every live worker already holds it
+        (``parallel.broadcast_skipped``). Raises :class:`ShardFailure`
+        naming the dead shard if a worker exited (or its pipe broke)
+        before the model reached it.
+        """
+        if scrubber is self._published_model:
+            for shard, proc in enumerate(self._procs):
+                if proc is None or not proc.is_alive():
+                    raise ShardFailure(
+                        shard, "worker process died before broadcast"
+                    )
+            obs.counter(names.C_PARALLEL_BROADCAST_SKIPPED).inc()
+            return
+        message = self._publish_model(scrubber)
         for shard, conn in enumerate(self._conns):
             proc = self._procs[shard]
             if proc is None or not proc.is_alive():
                 raise ShardFailure(shard, "worker process died before broadcast")
             try:
-                conn.send(("model", blob))
+                conn.send(message)
             except (BrokenPipeError, OSError) as exc:
                 raise ShardFailure(shard, f"model broadcast failed: {exc}") from exc
+        self._published_model = scrubber
+
+    def _send_classify(
+        self,
+        shard: int,
+        flows: FlowDataset,
+        min_flows: int,
+        directive,
+        agg: Optional[SketchParams],
+    ) -> None:
+        """Send one classify request: ring frame + doorbell, or pipe.
+
+        The shm path frames the batch into the shard's ring and sends
+        only a doorbell; when the frame does not fit (oversized batch,
+        or an unacked frame from a just-crashed worker awaiting
+        reclaim) it falls back to the legacy pickled message, counted
+        by ``parallel.ipc_fallbacks``. Either way the worker sees an
+        identical batch.
+        """
+        ring = self._rings[shard] if shard < len(self._rings) else None
+        if ring is not None and len(flows):
+            self._ring_seq[shard] += 1
+            seqno = self._ring_seq[shard]
+            ref = ring.write_flows(seqno, flows)
+            if ref is not None:
+                obs.counter(names.C_PARALLEL_IPC_RING_BYTES).inc(ref.nbytes)
+                self._conns[shard].send(
+                    ("classify_shm", seqno, ref.offset, ref.nbytes,
+                     min_flows, directive, agg)
+                )
+                return
+            obs.counter(names.C_PARALLEL_IPC_FALLBACKS).inc()
+        self._conns[shard].send(
+            ("classify", flows.to_columns(), min_flows, directive, agg)
+        )
 
     def classify(
         self,
@@ -293,22 +499,65 @@ class ProcessBackend:
             if flows is None or len(flows) == 0:
                 continue
             try:
-                message = ("classify", flows.to_columns(), min_flows)
-                if agg is not None:
-                    message = message + (None, agg)
-                self._conns[shard].send(message)
+                self._send_classify(shard, flows, min_flows, None, agg)
             except (BrokenPipeError, OSError) as exc:
                 raise ShardFailure(shard, f"batch dispatch failed: {exc}") from exc
             active.append(shard)
         out: list = [None if agg is not None else [] for _ in shard_flows]
         for shard in active:
             try:
-                out[shard] = self._conns[shard].recv()
+                reply = self._conns[shard].recv()
             except (EOFError, OSError, pickle.UnpicklingError) as exc:
                 raise ShardFailure(
                     shard,
                     f"worker died mid-batch: {exc if str(exc) else type(exc).__name__}",
                 ) from exc
+            if _is_ipc_error(reply):
+                raise ShardFailure(
+                    shard, f"shared-memory frame rejected: {reply[1]}"
+                )
+            out[shard] = reply
+        return out
+
+    def echo(
+        self, shard_flows: Sequence[Optional[FlowDataset]]
+    ) -> list[Optional[int]]:
+        """Round-trip batches through the transport; replies are row counts.
+
+        The dispatch path is byte-for-byte the classify path (ring
+        frame + doorbell, or pickled pipe message) without the
+        classification compute, which is what the IPC benchmark needs
+        to measure transport throughput in isolation.
+        """
+        active = []
+        for shard, flows in enumerate(shard_flows):
+            if flows is None or len(flows) == 0:
+                continue
+            ring = self._rings[shard] if shard < len(self._rings) else None
+            sent = False
+            if ring is not None:
+                self._ring_seq[shard] += 1
+                seqno = self._ring_seq[shard]
+                ref = ring.write_flows(seqno, flows)
+                if ref is not None:
+                    obs.counter(names.C_PARALLEL_IPC_RING_BYTES).inc(ref.nbytes)
+                    self._conns[shard].send(
+                        ("echo_shm", seqno, ref.offset, ref.nbytes)
+                    )
+                    sent = True
+                else:
+                    obs.counter(names.C_PARALLEL_IPC_FALLBACKS).inc()
+            if not sent:
+                self._conns[shard].send(("echo", flows.to_columns()))
+            active.append(shard)
+        out: list = [None] * len(shard_flows)
+        for shard in active:
+            reply = self._conns[shard].recv()
+            if _is_ipc_error(reply):
+                raise ShardFailure(
+                    shard, f"shared-memory frame rejected: {reply[1]}"
+                )
+            out[shard] = reply
         return out
 
     def snapshots(self) -> list[dict]:
@@ -318,12 +567,13 @@ class ProcessBackend:
         return [conn.recv() for conn in self._conns]
 
     def close(self) -> None:
-        """Stop all workers and reap them.
+        """Stop all workers, reap them, unlink every shared segment.
 
         Idempotent, and safe after a partially failed ``__init__``:
         slots that never spawned are skipped, started workers are
-        stopped and joined. Detaches the orphan-reaper finalizer first —
-        an explicit close supersedes the garbage-collection fallback.
+        stopped and joined, rings and the model plane created so far
+        are destroyed. Detaches the orphan-reaper finalizer first — an
+        explicit close supersedes the garbage-collection fallback.
         """
         finalizer = getattr(self, "_finalizer", None)
         if finalizer is not None:
@@ -349,19 +599,29 @@ class ProcessBackend:
                 conn.close()
             except OSError:  # pragma: no cover - already torn down
                 pass
+        for ring in self._rings:
+            if ring is not None:
+                ring.destroy()
+        plane = self._plane_box[0]
+        if plane is not None:
+            plane.destroy()
         self._conns = []
         self._procs = []
+        self._rings = []
+        self._plane_box = [None]
 
 
-def _reap_orphans(conns: list, procs: list) -> None:
+def _reap_orphans(conns: list, procs: list, rings: list, plane_box: list) -> None:
     """Last-resort cleanup for workers whose backend was never closed.
 
     Runs from a ``weakref.finalize`` when the backend is garbage
     collected (and, via finalize's atexit hook, at interpreter exit),
     so an engine that was never ``close()``d cannot leak live worker
-    processes. Deliberately takes the *list objects*, not the backend —
-    holding ``self`` in the finalizer would keep the backend alive
-    forever. Best effort: ask nicely over the pipe, then terminate.
+    processes — or linked shared-memory segments, which would otherwise
+    outlive the interpreter in ``/dev/shm``. Deliberately takes the
+    *slot lists*, not the backend — holding ``self`` in the finalizer
+    would keep the backend alive forever. Best effort: ask nicely over
+    the pipe, then terminate; workers go down before their segments.
     """
     for conn in conns:
         if conn is None:
@@ -387,6 +647,18 @@ def _reap_orphans(conns: list, procs: list) -> None:
             conn.close()
         except OSError:
             pass
+    for ring in rings:
+        if ring is not None:
+            try:
+                ring.destroy()
+            except OSError:  # pragma: no cover - torn-down tmpfs
+                pass
+    plane = plane_box[0]
+    if plane is not None:
+        try:
+            plane.destroy()
+        except OSError:  # pragma: no cover - torn-down tmpfs
+            pass
 
 
 def _supervised_backend(*args, **kwargs):
@@ -407,7 +679,8 @@ def make_backend(name: str, n_shards: int, **kwargs):
     """Instantiate a backend by name, forwarding backend kwargs.
 
     ``serial`` takes no extra options; ``process`` accepts
-    ``start_method`` (``"fork"``/``"spawn"``); ``supervised`` adds the
+    ``start_method`` (``"fork"``/``"spawn"``), ``ipc``
+    (``"pipe"``/``"shm"``) and ``ring_bytes``; ``supervised`` adds the
     supervision knobs (``shard_timeout``, ``max_restarts``,
     ``fault_plan``, ... — see
     :class:`~repro.core.resilience.SupervisedProcessBackend`).

@@ -91,7 +91,9 @@ class ShardedStreamingScrubber(ShardableEngine):
         :mod:`repro.core.resilience`). Verdicts do not depend on this.
     backend_options:
         Extra keyword arguments forwarded to the backend constructor —
-        ``start_method`` for the process backends; ``shard_timeout``,
+        ``start_method``, ``ipc`` (``"pipe"``/``"shm"`` — shared-memory
+        rings plus the map-once model plane, see ``docs/IPC.md``) and
+        ``ring_bytes`` for the process backends; ``shard_timeout``,
         ``max_restarts``, ``fault_plan``, ... for ``supervised``.
     equivalence_check:
         Run a shadow serial engine on the same input and assert verdict
@@ -162,6 +164,10 @@ class ShardedStreamingScrubber(ShardableEngine):
     @property
     def backend_name(self) -> str:
         return self._backend.name
+
+    @property
+    def ipc_mode(self) -> str:
+        return getattr(self._backend, "ipc", "inline")
 
     @property
     def is_ready(self) -> bool:

@@ -1,0 +1,567 @@
+"""Zero-copy shard IPC: shared-memory rings and the map-once model plane.
+
+The process backends move two kinds of payload across the
+coordinator→worker boundary, and before this module both crossed it as
+pickled pipe messages: every closed-bin :class:`~repro.netflow.dataset.
+FlowDataset` batch, and — once per retrain — the whole kernel-format
+scrubber, re-pickled per worker. ``FlowDataset`` is a pointer-free
+struct-of-arrays with a fixed :data:`~repro.netflow.dataset.SCHEMA`,
+i.e. already a wire format; serialising it buys nothing but copies.
+This module keeps the pipe as a **doorbell/control channel only** and
+moves the bytes through ``multiprocessing.shared_memory``:
+
+* :class:`ShmRing` — one single-producer/single-consumer ring per
+  shard. The coordinator writes each batch as a framed blob (header:
+  generation, seqno, bin, row count, payload bytes, crc32; payload:
+  each schema column's raw bytes, 8-aligned), then sends a tiny
+  ``("classify_shm", seqno, offset, nbytes, ...)`` doorbell over the
+  pipe. The worker reconstructs read-only column views with
+  ``np.frombuffer`` — no pickle, no copy — classifies, acks the seqno
+  in the ring's control block and replies over the pipe. The protocol
+  keeps **at most one frame in flight per shard** (strict
+  request→reply), so space accounting degenerates to a produced/
+  consumed seqno pair; a frame that does not fit (oversized batch, or
+  an unacked frame left by a crashed worker) makes the caller fall
+  back to the legacy pickled-pipe message instead of blocking — the
+  ring can never deadlock the stream. After a worker crash the
+  supervisor calls :meth:`ShmRing.reclaim`, which bumps the ring's
+  generation and marks the orphaned frame consumed; stale frames are
+  rejected by the generation check on the next read.
+
+* :class:`ModelPlane` — the map-once model distribution path. The
+  coordinator serialises the scrubber **once** per publish with pickle
+  protocol 5, externalising every contiguous numpy buffer
+  (``buffer_callback``) into a versioned shared segment laid out as
+  ``[header | buffer table | pickle stream | raw buffers]``. Workers
+  map the segment read-only and rebuild the model with
+  ``pickle.loads(stream, buffers=...)``, so the model's arrays are
+  views into shared memory — N workers share one copy instead of
+  holding N deserialised clones. Respawned workers re-attach by name:
+  the doorbell names the current segment, so restart needs no blob
+  resend.
+
+Lifetimes: the creating process (the backend) owns every segment and
+must ``destroy()`` them — on ``close()`` or from the orphan reaper.
+Attachers go through :func:`attach_segment`, which immediately
+unregisters the mapping from ``resource_tracker``; without that, a
+worker killed mid-batch would let its tracker unlink segments the
+coordinator still uses (bpo-39959) and spew leak warnings at exit.
+
+Writes into segment buffers are confined to this module by the RS204
+shard-safety lint rule (see ``docs/ANALYSIS.md``): the frame and
+header layout here *is* the protocol, and an out-of-band write would
+corrupt it invisibly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+import struct
+import zlib
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.netflow.dataset import BIN_SECONDS, SCHEMA, FlowDataset
+
+__all__ = [
+    "ShmRing",
+    "ModelPlane",
+    "ModelRef",
+    "FrameRef",
+    "ShmProtocolError",
+    "attach_segment",
+    "load_model",
+    "frame_bytes_for",
+    "DEFAULT_RING_BYTES",
+]
+
+#: Default per-shard ring capacity. 16 MiB holds a ~360k-flow batch
+#: (46 B/flow, see docs/IPC.md for the sizing math); larger batches
+#: fall back to the pipe rather than failing.
+DEFAULT_RING_BYTES = 16 * 1024 * 1024
+
+#: Frame magic ("RPRF" little-endian) — catches offset/layout bugs.
+_FRAME_MAGIC = 0x46525052
+#: Model-plane magic ("RPRM").
+_PLANE_MAGIC = 0x4D525052
+#: Ring control-block magic ("RPRC").
+_CTRL_MAGIC = 0x43525052
+
+#: Frame header: magic u32, generation u32, seqno i64, bin i64,
+#: rows u64, payload bytes u64, crc32 u32 — padded to 8 bytes.
+_FRAME_HEADER = struct.Struct("<IIqqQQI")
+_FRAME_HEADER_BYTES = (_FRAME_HEADER.size + 7) & ~7
+
+#: Model-plane header: magic u32, version u32, stream bytes u64,
+#: buffer count u64, crc32 u32 — padded; a u64 length per out-of-band
+#: buffer follows.
+_PLANE_HEADER = struct.Struct("<IIQQI")
+_PLANE_HEADER_BYTES = (_PLANE_HEADER.size + 7) & ~7
+
+#: Control block: 8 int64 slots at offset 0 of a ring segment.
+_CTRL_SLOTS = 8
+_CTRL_BYTES = _CTRL_SLOTS * 8
+_C_MAGIC = 0  # _CTRL_MAGIC, written last during init
+_C_GEN = 1  # reclaim generation; stale frames fail the read check
+_C_HEAD = 2  # producer byte cursor into the data region
+_C_PRODUCED = 3  # seqno of the last frame written
+_C_CONSUMED = 4  # seqno of the last frame acked by the worker
+_C_CAPACITY = 5  # data-region bytes (redundant with the segment size)
+
+
+def _align8(n: int) -> int:
+    return (int(n) + 7) & ~7
+
+
+def _payload_crc(buf, offset: int, length: int) -> int:
+    """crc32 of the xor-folded payload: one pass at memory bandwidth.
+
+    A straight ``zlib.crc32`` over the payload runs at ~3 GB/s — more
+    CPU per byte than the copy it guards, which would erase the
+    transport's advantage over the pickled pipe. Folding the payload
+    into one 64-bit lane with ``np.bitwise_xor.reduce`` (~8x faster)
+    and crc32-ing the 8-byte digest keeps the guard at memory
+    bandwidth. Any single corrupted byte flips its lane and therefore
+    the digest; structural failures (stale frame, wrong offset, torn
+    header) are caught by the magic/generation/seqno/length checks
+    before the crc is even consulted. Payload regions are 8-aligned by
+    construction (:func:`_align8` per column), so the uint64 view is
+    exact.
+    """
+    lanes = np.frombuffer(buf, dtype=np.uint64, count=length // 8, offset=offset)
+    fold = int(np.bitwise_xor.reduce(lanes)) if len(lanes) else 0
+    return zlib.crc32(fold.to_bytes(8, "little"))
+
+
+class ShmProtocolError(RuntimeError):
+    """A shared-memory frame or segment failed validation.
+
+    Raised on magic/seqno/generation mismatches and crc32 failures —
+    the shm analogue of a corrupted pipe message. The worker reports it
+    over the doorbell pipe; the unsupervised backend surfaces it as a
+    :class:`~repro.core.parallel.backends.ShardFailure`, the supervisor
+    treats it like any other worker failure (restart, retry,
+    quarantine).
+    """
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without resource-tracker ownership.
+
+    Only the creating process may unlink a segment. Python < 3.13
+    registers *every* ``SharedMemory`` with ``resource_tracker``
+    though, so an attaching worker that dies (or is killed by the
+    supervisor) would have its tracker unlink segments the coordinator
+    still uses, and clean exits would print bogus leak warnings
+    (bpo-39959). Newer Pythons expose ``track=False``; elsewhere we
+    attach and immediately unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    # Pre-3.13: suppress the registration instead of unregistering
+    # after the fact — an unregister message for a name this process
+    # also *created* (unit tests attach in-process) would corrupt the
+    # tracker's cache and still warn at exit.
+    original_register = resource_tracker.register
+    # repro: lint-ignore[RS201] per-process tracker shim is the point: each process must stop its own tracker registering a segment it does not own
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        # repro: lint-ignore[RS201] restores the per-process tracker hook patched three lines up
+        resource_tracker.register = original_register
+
+
+def _segment_name(kind: str, token: str) -> str:
+    return f"repro-{kind}-{os.getpid()}-{token}"
+
+
+@dataclass(frozen=True)
+class FrameRef:
+    """Doorbell payload for one ring frame: where it is, how big."""
+
+    seqno: int
+    offset: int
+    nbytes: int
+
+
+def frame_bytes_for(n_rows: int) -> int:
+    """Frame size (header + 8-aligned columns) for an n-row batch."""
+    payload = sum(_align8(n_rows * dtype.itemsize) for dtype in SCHEMA.values())
+    return _FRAME_HEADER_BYTES + payload
+
+
+class ShmRing:
+    """One shard's SPSC batch ring over a shared-memory segment.
+
+    The coordinator (producer) constructs it; the worker (consumer)
+    attaches by name. Layout: a 64-byte control block of int64 slots,
+    then the circular data region. The request→reply discipline of the
+    backends keeps at most one frame in flight, so "is there room"
+    reduces to "is the previous frame acked" — :meth:`write_flows`
+    returns ``None`` (caller falls back to the pipe) instead of ever
+    waiting on the consumer.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_RING_BYTES,
+        *,
+        _attach_name: Optional[str] = None,
+    ):
+        self._closed = False
+        self._owner = _attach_name is None
+        if self._owner:
+            capacity = _align8(max(int(capacity_bytes), _FRAME_HEADER_BYTES + 8))
+            name = _segment_name("ring", secrets.token_hex(4))
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=_CTRL_BYTES + capacity
+            )
+            # Pre-fault the data region: first-touch page allocation is
+            # a kernel zeroing pass that would otherwise stall the first
+            # dispatch cycle through each ring position mid-stream.
+            np.frombuffer(self._shm.buf, dtype=np.uint8)[:] = 0
+            ctrl = self._ctrl_view()
+            ctrl[_C_GEN] = 0
+            ctrl[_C_HEAD] = 0
+            ctrl[_C_PRODUCED] = 0
+            ctrl[_C_CONSUMED] = 0
+            ctrl[_C_CAPACITY] = capacity
+            ctrl[_C_MAGIC] = _CTRL_MAGIC  # last: marks the block valid
+        else:
+            self._shm = attach_segment(_attach_name)
+            ctrl = self._ctrl_view()
+            if int(ctrl[_C_MAGIC]) != _CTRL_MAGIC:
+                del ctrl  # release the view so the unmap can succeed
+                self._closed = True
+                self._shm.close()
+                raise ShmProtocolError(
+                    f"segment {_attach_name!r} has no valid ring control block"
+                )
+        self._ctrl = ctrl
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Map an existing ring (worker side; never unlinks)."""
+        return cls(_attach_name=name)
+
+    def _ctrl_view(self) -> np.ndarray:
+        return np.frombuffer(self._shm.buf, dtype=np.int64, count=_CTRL_SLOTS)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        return int(self._ctrl[_C_CAPACITY])
+
+    @property
+    def generation(self) -> int:
+        return int(self._ctrl[_C_GEN])
+
+    @property
+    def in_flight(self) -> bool:
+        """True while a written frame has not been acked."""
+        return int(self._ctrl[_C_PRODUCED]) != int(self._ctrl[_C_CONSUMED])
+
+    # -- producer side --------------------------------------------------
+    def write_flows(self, seqno: int, flows: FlowDataset) -> Optional[FrameRef]:
+        """Frame one batch into the ring; ``None`` means "use the pipe".
+
+        ``None`` is returned when the previous frame is still unacked
+        (a crashed worker's orphan, until :meth:`reclaim` runs) or the
+        frame exceeds the ring capacity — both are fallback conditions,
+        never errors, so the stream keeps moving regardless of batch
+        size or worker state.
+        """
+        ctrl = self._ctrl
+        if int(ctrl[_C_PRODUCED]) != int(ctrl[_C_CONSUMED]):
+            return None
+        rows = len(flows)
+        nbytes = frame_bytes_for(rows)
+        capacity = int(ctrl[_C_CAPACITY])
+        if nbytes > capacity:
+            return None
+        pos = int(ctrl[_C_HEAD]) % capacity
+        if pos + nbytes > capacity:
+            pos = 0  # frames never wrap: skip the tail remainder
+        base = _CTRL_BYTES + pos
+        offset = base + _FRAME_HEADER_BYTES
+        first_bin = int(flows.column("time")[0]) // BIN_SECONDS if rows else -1
+        for name, dtype in SCHEMA.items():
+            column = np.ascontiguousarray(flows.column(name))
+            dst = np.frombuffer(
+                self._shm.buf, dtype=dtype, count=rows, offset=offset
+            )
+            dst[:] = column
+            offset += _align8(column.nbytes)
+        payload = nbytes - _FRAME_HEADER_BYTES
+        crc = _payload_crc(self._shm.buf, base + _FRAME_HEADER_BYTES, payload)
+        _FRAME_HEADER.pack_into(
+            self._shm.buf, base,
+            _FRAME_MAGIC, int(ctrl[_C_GEN]), seqno, first_bin, rows, payload, crc,
+        )
+        ctrl[_C_HEAD] = pos + nbytes
+        ctrl[_C_PRODUCED] = seqno
+        return FrameRef(seqno=seqno, offset=pos, nbytes=nbytes)
+
+    def reclaim(self) -> None:
+        """Reset after a worker death: orphaned frames are abandoned.
+
+        Bumps the generation (any frame written before the reclaim
+        fails the consumer's generation check), rewinds the cursor and
+        marks the in-flight frame consumed so the next
+        :meth:`write_flows` has the whole ring again. Producer-side
+        only; the respawned worker re-attaches the same segment and
+        simply resumes at the next doorbell seqno.
+        """
+        ctrl = self._ctrl
+        ctrl[_C_GEN] = int(ctrl[_C_GEN]) + 1
+        ctrl[_C_HEAD] = 0
+        ctrl[_C_CONSUMED] = int(ctrl[_C_PRODUCED])
+
+    # -- consumer side --------------------------------------------------
+    def read_flows(self, ref_seqno: int, offset: int, nbytes: int) -> FlowDataset:
+        """Rebuild the framed batch as zero-copy read-only views.
+
+        Validates magic, generation, seqno, and the payload crc32
+        before handing the columns to :class:`FlowDataset`; any
+        mismatch raises :class:`ShmProtocolError`.
+        """
+        base = _CTRL_BYTES + int(offset)
+        magic, gen, seqno, _bin, rows, payload, crc = _FRAME_HEADER.unpack_from(
+            self._shm.buf, base
+        )
+        if magic != _FRAME_MAGIC:
+            raise ShmProtocolError(f"bad frame magic {magic:#x} at offset {offset}")
+        if gen != int(self._ctrl[_C_GEN]):
+            raise ShmProtocolError(
+                f"stale frame generation {gen} (ring at {self.generation})"
+            )
+        if seqno != ref_seqno:
+            raise ShmProtocolError(
+                f"frame seqno {seqno} does not match doorbell seqno {ref_seqno}"
+            )
+        if _FRAME_HEADER_BYTES + payload != int(nbytes):
+            raise ShmProtocolError(
+                f"frame length {payload} disagrees with doorbell {nbytes}"
+            )
+        check = _payload_crc(self._shm.buf, base + _FRAME_HEADER_BYTES, payload)
+        if check != crc:
+            raise ShmProtocolError(
+                f"frame crc mismatch: header {crc:#x}, payload {check:#x}"
+            )
+        columns: dict[str, np.ndarray] = {}
+        position = base + _FRAME_HEADER_BYTES
+        for name, dtype in SCHEMA.items():
+            array = np.frombuffer(
+                self._shm.buf, dtype=dtype, count=rows, offset=position
+            )
+            array.flags.writeable = False
+            columns[name] = array
+            position += _align8(array.nbytes)
+        return FlowDataset(columns)
+
+    def ack(self, seqno: int) -> None:
+        """Mark the frame consumed; its space is reusable immediately.
+
+        Call only after the reply no longer references the frame's
+        views (verdicts and sketch states copy out of the batch).
+        """
+        self._ctrl[_C_CONSUMED] = seqno
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Unmap (both sides). Owner keeps the segment linked."""
+        if self._closed:
+            return
+        self._closed = True
+        self._ctrl = None  # release the exported buffer before close()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            pass
+
+    def destroy(self) -> None:
+        """Unmap and unlink (owner side). Idempotent, never raises."""
+        was_closed = self._closed
+        self.close()
+        if self._owner and not was_closed:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+@dataclass(frozen=True)
+class ModelRef:
+    """Doorbell payload naming the current model segment."""
+
+    name: str
+    version: int
+    nbytes: int
+
+
+class ModelPlane:
+    """Versioned shared segments carrying the pickled-once model.
+
+    ``publish`` serialises the object a single time with pickle
+    protocol 5; every contiguous numpy buffer travels out-of-band into
+    the segment, so :func:`load_model` reconstructs arrays as
+    *read-only views into the mapping* rather than copies. Each publish
+    creates a fresh segment named after the bumped version and unlinks
+    the previous one — the current version stays linked (never just
+    mapped) so a worker respawned long after the publish can still
+    attach it by name.
+    """
+
+    def __init__(self):
+        self._token = secrets.token_hex(4)
+        self._version = 0
+        self._segment: Optional[shared_memory.SharedMemory] = None
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def ref(self) -> Optional[ModelRef]:
+        """The current segment's doorbell payload, if any published."""
+        if self._segment is None:
+            return None
+        return ModelRef(
+            name=self._segment.name, version=self._version,
+            nbytes=self._segment.size,
+        )
+
+    def publish(self, obj) -> ModelRef:
+        """Serialise once into a fresh versioned segment."""
+        buffers: list[pickle.PickleBuffer] = []
+        stream = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+        raws = [buffer.raw() for buffer in buffers]
+        table_bytes = _align8(8 * len(raws))
+        stream_off = _PLANE_HEADER_BYTES + table_bytes
+        offsets = [stream_off + _align8(len(stream))]
+        for raw in raws[:-1] if raws else []:
+            offsets.append(offsets[-1] + _align8(raw.nbytes))
+        total = (offsets[-1] + _align8(raws[-1].nbytes)) if raws \
+            else stream_off + _align8(len(stream))
+        version = self._version + 1
+        name = _segment_name("plane", f"{self._token}-{version}")
+        segment = shared_memory.SharedMemory(name=name, create=True, size=total)
+        crc = zlib.crc32(stream)
+        segment.buf[stream_off:stream_off + len(stream)] = stream
+        lengths = np.frombuffer(
+            segment.buf, dtype=np.uint64, count=len(raws),
+            offset=_PLANE_HEADER_BYTES,
+        )
+        for index, raw in enumerate(raws):
+            lengths[index] = raw.nbytes
+            flat = np.frombuffer(
+                segment.buf, dtype=np.uint8, count=raw.nbytes,
+                offset=offsets[index],
+            )
+            flat[:] = np.frombuffer(raw, dtype=np.uint8)
+            crc = zlib.crc32(flat, crc)
+            del flat
+        del lengths  # release exported views before any later close()
+        _PLANE_HEADER.pack_into(
+            segment.buf, 0, _PLANE_MAGIC, version, len(stream), len(raws), crc
+        )
+        for buffer in buffers:
+            buffer.release()
+        previous, self._segment, self._version = self._segment, segment, version
+        if previous is not None:
+            previous.close()
+            try:
+                previous.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        return ModelRef(name=name, version=version, nbytes=total)
+
+    def destroy(self) -> None:
+        """Unmap and unlink the current segment. Idempotent."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            return
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def load_model(name: str, expected_version: int):
+    """Map a model segment read-only and rebuild the object (worker).
+
+    Returns ``(obj, segment)``; the caller owns the segment handle and
+    must keep it mapped for as long as the object lives — the object's
+    numpy arrays are views into it. Raises :class:`ShmProtocolError`
+    on magic/version/crc mismatch.
+    """
+    segment = attach_segment(name)
+    view: Optional[memoryview] = None
+    stream: Optional[memoryview] = None
+    out_of_band: list[memoryview] = []
+    try:
+        magic, version, stream_bytes, n_buffers, crc = _PLANE_HEADER.unpack_from(
+            segment.buf, 0
+        )
+        if magic != _PLANE_MAGIC:
+            raise ShmProtocolError(f"segment {name!r} is not a model plane")
+        if version != expected_version:
+            raise ShmProtocolError(
+                f"model segment {name!r} is version {version}, "
+                f"doorbell announced {expected_version}"
+            )
+        lengths = [
+            int(n)
+            for n in np.frombuffer(
+                segment.buf, dtype=np.uint64, count=n_buffers,
+                offset=_PLANE_HEADER_BYTES,
+            )
+        ]
+        view = memoryview(segment.buf)
+        stream_off = _PLANE_HEADER_BYTES + _align8(8 * n_buffers)
+        stream = view[stream_off:stream_off + stream_bytes]
+        check = zlib.crc32(stream)
+        position = stream_off + _align8(stream_bytes)
+        for nbytes in lengths:
+            raw = view[position:position + nbytes]
+            check = zlib.crc32(raw, check)
+            out_of_band.append(raw.toreadonly())
+            raw.release()
+            position += _align8(nbytes)
+        if check != crc:
+            raise ShmProtocolError(
+                f"model segment {name!r} crc mismatch: "
+                f"header {crc:#x}, payload {check:#x}"
+            )
+        obj = pickle.loads(stream, buffers=out_of_band)
+        return obj, segment
+    except Exception:
+        # Release every view taken so far — the propagating traceback
+        # keeps this frame (and its locals) alive, so without explicit
+        # releases the segment could never be unmapped.
+        for taken in out_of_band:
+            taken.release()
+        if stream is not None:
+            stream.release()
+        if view is not None:
+            view.release()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - caller-held views
+            pass
+        raise

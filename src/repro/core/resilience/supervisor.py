@@ -44,7 +44,12 @@ from typing import Optional, Sequence
 
 from repro import obs
 from repro.core.features.sketches import SketchParams
-from repro.core.parallel.backends import ProcessBackend, _sketch_shard_state
+from repro.core.parallel import shm
+from repro.core.parallel.backends import (
+    ProcessBackend,
+    _is_ipc_error,
+    _sketch_shard_state,
+)
 from repro.core.resilience.faults import FaultPlan
 from repro.core.scrubber import IXPScrubber, TargetVerdict
 from repro.netflow.dataset import FlowDataset
@@ -66,8 +71,12 @@ class SupervisedProcessBackend(ProcessBackend):
 
     Parameters
     ----------
-    n_shards, start_method:
+    n_shards, start_method, ipc, ring_bytes:
         As for :class:`~repro.core.parallel.backends.ProcessBackend`.
+        With ``ipc="shm"`` a restarted worker re-attaches its shard's
+        ring (reclaimed first, so a frame orphaned by the crash can
+        never wedge it) and re-maps the current model-plane segment by
+        name — no model re-pickle on the restart path either.
     shard_timeout:
         Deadline in seconds for any single pipe read. A worker that
         does not answer within it is killed and restarted.
@@ -106,6 +115,8 @@ class SupervisedProcessBackend(ProcessBackend):
         batch_attempts: int = 2,
         retry_backoff: float = 0.01,
         fault_plan: Optional[FaultPlan] = None,
+        ipc: str = "pipe",
+        ring_bytes: int = shm.DEFAULT_RING_BYTES,
     ):
         if shard_timeout <= 0:
             raise ValueError("shard_timeout must be > 0 seconds")
@@ -122,7 +133,6 @@ class SupervisedProcessBackend(ProcessBackend):
         self.retry_backoff = float(retry_backoff)
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._scrubber: Optional[IXPScrubber] = None
-        self._blob: Optional[bytes] = None
         self._tick = 0  # classify-call counter; the restart-window clock
         self._seq = [0] * n_shards  # per-shard lifetime dispatch counter
         self._epoch_seq = [0] * n_shards  # per-shard dispatches this epoch
@@ -134,7 +144,9 @@ class SupervisedProcessBackend(ProcessBackend):
         self._fallback_registries = [obs.MetricRegistry() for _ in range(n_shards)]
         self._fallback_assembler = None
         self._fallback_model: Optional[IXPScrubber] = None
-        super().__init__(n_shards, start_method=start_method)
+        super().__init__(
+            n_shards, start_method=start_method, ipc=ipc, ring_bytes=ring_bytes
+        )
 
     # -- model distribution --------------------------------------------
     def broadcast(self, scrubber: IXPScrubber) -> None:
@@ -142,23 +154,39 @@ class SupervisedProcessBackend(ProcessBackend):
 
         Unlike the unsupervised backend this never raises on a dead
         worker — the restart path re-sends the model, and a shard past
-        its restart budget degrades instead.
+        its restart budget degrades instead. An unchanged model (same
+        object as the last broadcast) is not re-serialised: dead
+        workers are still resurrected — and re-receive the current
+        model through the restart path — but live ones already hold it
+        (``parallel.broadcast_skipped``).
         """
-        self._scrubber = scrubber
-        self._blob = pickle.dumps(scrubber)
         self._epoch_seq = [0] * self.n_shards
+        if scrubber is self._published_model and scrubber is self._scrubber:
+            for shard in range(self.n_shards):
+                if self._degraded[shard]:
+                    continue
+                proc = self._procs[shard]
+                if proc is None or not proc.is_alive():
+                    self._restart_worker(
+                        shard, "worker found dead at model broadcast"
+                    )
+            obs.counter(names.C_PARALLEL_BROADCAST_SKIPPED).inc()
+            return
+        self._scrubber = scrubber
+        message = self._publish_model(scrubber)
         for shard in range(self.n_shards):
             if self._degraded[shard]:
                 continue
             proc = self._procs[shard]
             if proc is None or not proc.is_alive():
-                # _restart_worker re-sends the model blob itself.
+                # _restart_worker re-sends the model message itself.
                 self._restart_worker(shard, "worker found dead at model broadcast")
                 continue
             try:
-                self._conns[shard].send(("model", self._blob))
+                self._conns[shard].send(message)
             except (BrokenPipeError, OSError):
                 self._restart_worker(shard, "pipe broke during model broadcast")
+        self._published_model = scrubber
 
     # -- classification -------------------------------------------------
     def classify(
@@ -224,10 +252,7 @@ class SupervisedProcessBackend(ProcessBackend):
                 if directive is not None:
                     obs.counter(names.C_RESILIENCE_FAULTS_INJECTED).inc()
             try:
-                message = ("classify", flows.to_columns(), min_flows, directive)
-                if agg is not None:
-                    message = message + (agg,)
-                self._conns[shard].send(message)
+                self._send_classify(shard, flows, min_flows, directive, agg)
                 return True
             except (BrokenPipeError, OSError):
                 if not self._restart_worker(shard, "pipe broke during dispatch"):
@@ -272,7 +297,17 @@ class SupervisedProcessBackend(ProcessBackend):
                     shard, f"no reply within the {self.shard_timeout:.1f}s deadline"
                 )
                 return _FAILED
-            return conn.recv()
+            reply = conn.recv()
+            if _is_ipc_error(reply):
+                # The worker rejected a shared-memory frame (crc/seqno/
+                # generation). It answered in protocol but its view of
+                # the ring cannot be trusted; restart reclaims the ring
+                # and the retry re-frames the batch from scratch.
+                self._restart_worker(
+                    shard, f"shared-memory frame rejected: {reply[1]}"
+                )
+                return _FAILED
+            return reply
         except _PIPE_ERRORS as exc:
             self._restart_worker(
                 shard, f"worker died mid-batch: {exc if str(exc) else type(exc).__name__}"
@@ -286,9 +321,18 @@ class SupervisedProcessBackend(ProcessBackend):
         The restart budget is checked first: more than ``max_restarts``
         restarts within the trailing ``restart_window`` classify calls
         degrades the shard instead of spawning another doomed worker.
-        A fresh worker immediately receives the current model blob.
+        A fresh worker immediately receives the current model message —
+        the pickled blob in pipe mode, the (name, version) doorbell of
+        the still-linked model-plane segment in shm mode, which the
+        respawn maps on arrival. In shm mode the shard's ring is
+        reclaimed before the respawn: the generation bump abandons any
+        frame the dead worker left unacked, so a crash mid-ring can
+        never deadlock the next dispatch.
         """
         self._reap(shard)
+        ring = self._rings[shard] if shard < len(self._rings) else None
+        if ring is not None:
+            ring.reclaim()
         ticks = self._restart_ticks[shard]
         ticks.append(self._tick)
         while ticks and ticks[0] <= self._tick - self.restart_window:
@@ -303,9 +347,9 @@ class SupervisedProcessBackend(ProcessBackend):
                 shard, reason, len(ticks), self.max_restarts,
             )
             self._start_worker(shard)
-            if self._blob is not None:
+            if self._model_message is not None:
                 try:
-                    self._conns[shard].send(("model", self._blob))
+                    self._conns[shard].send(self._model_message)
                 except (BrokenPipeError, OSError):  # pragma: no cover - instant death
                     self._degrade(shard, "model re-broadcast to fresh worker failed")
                     return False

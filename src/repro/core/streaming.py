@@ -119,6 +119,16 @@ class ShardableEngine(abc.ABC):
     def warm_start(self, scrubber: IXPScrubber) -> "ShardableEngine":
         """Deploy a pre-fitted scrubber as the current model."""
 
+    @property
+    def ipc_mode(self) -> str:
+        """Transport moving shard batches: ``"inline"`` when in-process.
+
+        The sharded coordinator reports its backend's transport
+        (``"pipe"`` or ``"shm"`` — see ``docs/IPC.md``); engines that
+        never cross a process boundary report ``"inline"``.
+        """
+        return "inline"
+
     def close(self) -> None:
         """Release execution resources (idempotent).
 

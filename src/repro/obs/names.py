@@ -52,7 +52,11 @@ C_PARALLEL_FLOWS_DISPATCHED = "parallel.flows_dispatched"
 C_PARALLEL_SHARD_FLOWS = "parallel.shard_flows"
 C_PARALLEL_MODEL_BROADCASTS = "parallel.model_broadcasts"
 C_PARALLEL_BROADCAST_BYTES = "parallel.broadcast_bytes"
+C_PARALLEL_BROADCAST_SKIPPED = "parallel.broadcast_skipped"
 C_PARALLEL_EQUIVALENCE_CHECKS = "parallel.equivalence_checks"
+C_PARALLEL_IPC_RING_BYTES = "parallel.ipc_ring_bytes"
+C_PARALLEL_IPC_FALLBACKS = "parallel.ipc_fallbacks"
+C_PARALLEL_IPC_SEGMENT_REMAPS = "parallel.ipc_segment_remaps"
 C_RESILIENCE_WORKER_RESTARTS = "resilience.worker_restarts"
 C_RESILIENCE_BATCH_RETRIES = "resilience.batch_retries"
 C_RESILIENCE_BATCHES_QUARANTINED = "resilience.batches_quarantined"
@@ -77,6 +81,7 @@ G_CHECKPOINT_RESUME_LAG_TICKS = "checkpoint.resume_lag_ticks"
 G_LABELING_LAST_REDUCTION = "labeling.last_reduction"
 G_MODELS_ENSEMBLE_NODES = "models.ensemble_nodes"
 G_PARALLEL_SHARDS = "parallel.shards"
+G_PARALLEL_IPC_RING_CAPACITY = "parallel.ipc_ring_capacity_bytes"
 G_RESILIENCE_DEGRADED_SHARDS = "resilience.degraded_shards"
 G_SKETCH_MEMORY_BYTES = "sketch.memory_bytes"
 G_SKETCH_ERROR_BOUND = "sketch.error_bound"

@@ -216,6 +216,20 @@ CORPUS = {
                     return m
 
                 return dec
+
+
+            def rogue_ring_poke(seg, header):
+                seg.buf[0:4] = b"FAKE"
+                header.pack_into(seg.buf, 64, 1)
+                peek = seg.buf[4:8]
+                return peek
+            """,
+        # RS204 negative: the protocol module itself owns segment
+        # layout, so its raw writes are sanctioned.
+        "repro/core/parallel/shm.py": """\
+            def write_frame(shm, payload):
+                shm.buf[64 : 64 + len(payload)] = payload
+                return len(payload)
             """,
         # Suppression grammar: one used, one missing its reason, one
         # naming an unknown rule, one matching nothing.
@@ -493,6 +507,32 @@ def test_rs203_closure_writes(corpus):
         src(backends),
         line_of(backends, "m -= 1"),
     ) not in hits(result, "RS203")
+
+
+def test_rs204_shm_buffer_writes(corpus):
+    _, result = corpus
+    backends = "repro/core/parallel/backends.py"
+    assert hits(result, "RS204") == {
+        (src(backends), line_of(backends, 'seg.buf[0:4] = b"FAKE"')),
+        (src(backends), line_of(backends, "header.pack_into(seg.buf")),
+    }
+    # Negatives: reads through .buf are fine, and the protocol module
+    # itself is exempt even though it stores into segment memory.
+    assert (
+        src(backends),
+        line_of(backends, "peek = seg.buf[4:8]"),
+    ) not in hits(result, "RS204")
+    assert src("repro/core/parallel/shm.py") not in {
+        f.path for f in result.findings if f.rule == "RS204"
+    }
+    # Reachability is irrelevant: rogue_ring_poke is never called from
+    # the worker entry point yet both writes are still flagged.
+    poke = [
+        f for f in result.findings
+        if f.rule == "RS204" and f.symbol == "rogue_ring_poke"
+    ]
+    assert len(poke) == 2
+    assert all("docs/IPC.md" in f.message for f in poke)
 
 
 def test_rs203_chain_names_the_route(corpus):

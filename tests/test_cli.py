@@ -112,6 +112,22 @@ class TestStream:
         assert exc.value.code == 2
         assert "--backend process or supervised" in capsys.readouterr().err
 
+    def test_serial_backend_rejects_shm_ipc(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--days", "1", "--ipc", "shm"])
+        assert exc.value.code == 2
+        assert "--backend process or supervised" in capsys.readouterr().err
+
+    def test_shm_ipc_streams_checked_and_reports(self, capsys):
+        assert main(
+            ["stream", "--days", "1", "--shards", "2", "--backend",
+             "process", "--ipc", "shm", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ipc: shm" in out
+        assert "pipe fallbacks" in out
+        assert "parallel.ipc_ring_bytes" in out
+
     def test_sketch_flags_require_sketch_mode(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["stream", "--days", "1", "--sketch-eps", "0.01"])

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from tests import strategies
+from repro import obs
 from repro.bgp.prefix import Prefix
 from repro.core.labeling.balancer import balance
 from repro.core.parallel import (
@@ -19,6 +20,7 @@ from repro.core.parallel import (
 )
 from repro.core.parallel.engine import EQUIVALENCE_ENV
 from repro.core.scrubber import IXPScrubber, ScrubberConfig
+from repro.obs import names
 
 ENGINE_KWARGS = dict(
     window_days=2,
@@ -130,6 +132,106 @@ class TestBackends:
         backend = ProcessBackend(2)
         backend.close()
         backend.close()
+
+
+class TestShmBackend:
+    """The shm transport: identical verdicts, fallbacks, broadcast skip."""
+
+    def test_shm_matches_serial_backend(self, fitted_scrubber, workload):
+        shard_flows = ShardPlan(2).split(workload)
+        serial = make_backend("serial", 2)
+        serial.broadcast(fitted_scrubber)
+        expected = serial.classify(shard_flows, min_flows=3)
+        registry = obs.MetricRegistry()
+        with obs.use_registry(registry):
+            backend = make_backend("process", 2, ipc="shm")
+            try:
+                backend.broadcast(fitted_scrubber)
+                actual = backend.classify(shard_flows, min_flows=3)
+            finally:
+                backend.close()
+        assert actual == expected
+        assert any(len(v) for v in expected)
+        # Both batches travelled the ring, not the pipe.
+        ring_bytes = registry.get(names.C_PARALLEL_IPC_RING_BYTES)
+        assert ring_bytes is not None and ring_bytes.value > 0
+        assert registry.get(names.C_PARALLEL_IPC_FALLBACKS) is None
+
+    def test_tiny_ring_falls_back_to_pipe(self, fitted_scrubber, workload):
+        shard_flows = ShardPlan(2).split(workload)
+        serial = make_backend("serial", 2)
+        serial.broadcast(fitted_scrubber)
+        expected = serial.classify(shard_flows, min_flows=3)
+        registry = obs.MetricRegistry()
+        with obs.use_registry(registry):
+            # 1 KiB rings: every batch is oversized -> pickled pipe.
+            backend = ProcessBackend(2, ipc="shm", ring_bytes=1024)
+            try:
+                backend.broadcast(fitted_scrubber)
+                actual = backend.classify(shard_flows, min_flows=3)
+            finally:
+                backend.close()
+        assert actual == expected
+        fallbacks = registry.get(names.C_PARALLEL_IPC_FALLBACKS)
+        assert fallbacks is not None and fallbacks.value == 2
+
+    def test_unchanged_model_broadcast_is_skipped(self, fitted_scrubber):
+        for ipc in ("pipe", "shm"):
+            registry = obs.MetricRegistry()
+            with obs.use_registry(registry):
+                backend = ProcessBackend(2, ipc=ipc)
+                try:
+                    backend.broadcast(fitted_scrubber)
+                    first = registry.get(names.C_PARALLEL_BROADCAST_BYTES).value
+                    backend.broadcast(fitted_scrubber)  # same object: skip
+                finally:
+                    backend.close()
+            assert registry.get(names.C_PARALLEL_BROADCAST_BYTES).value == first
+            assert registry.get(names.C_PARALLEL_BROADCAST_SKIPPED).value == 1
+
+    def test_serial_backend_also_skips_unchanged_model(self, fitted_scrubber):
+        registry = obs.MetricRegistry()
+        with obs.use_registry(registry):
+            backend = make_backend("serial", 2)
+            backend.broadcast(fitted_scrubber)
+            backend.broadcast(fitted_scrubber)
+        assert registry.get(names.C_PARALLEL_BROADCAST_SKIPPED).value == 1
+
+    def test_workers_remap_each_published_model(
+        self, fitted_scrubber, workload
+    ):
+        shard_flows = ShardPlan(2).split(workload)
+        backend = ProcessBackend(2, ipc="shm")
+        try:
+            backend.broadcast(fitted_scrubber)
+            backend.classify(shard_flows, min_flows=3)
+            snaps = backend.snapshots()
+        finally:
+            backend.close()
+        remaps = [
+            {c["name"]: c["value"] for c in snap["counters"]}.get(
+                names.C_PARALLEL_IPC_SEGMENT_REMAPS, 0
+            )
+            for snap in snaps
+        ]
+        assert remaps == [1, 1]
+
+    def test_close_unlinks_all_segments(self, fitted_scrubber):
+        import os
+
+        backend = ProcessBackend(2, ipc="shm")
+        backend.broadcast(fitted_scrubber)
+        segments = [ring.name for ring in backend._rings]
+        segments.append(backend._plane_box[0].ref().name)
+        backend.close()
+        for name in segments:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_invalid_ipc_mode_raises(self):
+        with pytest.raises(ValueError, match="ipc mode"):
+            ProcessBackend(2, ipc="carrier-pigeon")
+        with pytest.raises(ValueError, match="ipc mode"):
+            make_backend("process", 2, ipc="tcp")
 
 
 class TestShardedEngine:

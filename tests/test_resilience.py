@@ -461,3 +461,134 @@ class TestSupervisedEngine:
             engine.warm_start(fitted_scrubber)
             verdicts = self._drive(engine, workload)
         assert verdicts
+
+
+class TestShmResilience:
+    """Chaos over the shared-memory transport (satellite of docs/IPC.md).
+
+    The invariant is unchanged from the pipe-mode suites above: crashes,
+    reclaims, quarantines and oversized-batch fallbacks must never
+    change a verdict — and restart must re-attach the *live* ring and
+    model segment, not re-pickle anything.
+    """
+
+    def _run_shm(self, plan, fitted_scrubber, workload, n_calls=1, **kwargs):
+        registry = obs.MetricRegistry()
+        shard_flows = ShardPlan(2).split(workload)
+        with obs.use_registry(registry):
+            backend = _supervised(plan, ipc="shm", **kwargs)
+            try:
+                backend.broadcast(fitted_scrubber)
+                results = [
+                    backend.classify(shard_flows, min_flows=3)
+                    for _ in range(n_calls)
+                ]
+            finally:
+                backend.close()
+        return results, registry, backend
+
+    def test_crash_mid_frame_reclaims_and_retries(
+        self, fitted_scrubber, workload, expected
+    ):
+        # The fault fires before the worker reads the ring, so the
+        # frame is orphaned un-acked: the restart path must reclaim it
+        # or every later dispatch would fall back to the pipe.
+        plan = FaultPlan.parse("crash@0:batch=0")
+        results, registry, _ = self._run_shm(
+            plan, fitted_scrubber, workload, n_calls=2
+        )
+        assert results == [expected, expected]
+        assert _counter(registry, names.C_RESILIENCE_WORKER_RESTARTS) == 1
+        assert _counter(registry, names.C_RESILIENCE_BATCH_RETRIES) == 1
+        # The retry and the second call both rode the ring: reclaim
+        # really did free the orphaned frame.
+        assert _counter(registry, names.C_PARALLEL_IPC_FALLBACKS) == 0
+
+    def test_respawned_worker_maps_live_model_segment(
+        self, fitted_scrubber, second_scrubber, workload, expected
+    ):
+        # Republish after the initial broadcast, then crash a worker:
+        # the respawn must map the *current* segment version (the old
+        # one is unlinked, so a stale re-attach would fail loudly).
+        registry = obs.MetricRegistry()
+        shard_flows = ShardPlan(2).split(workload)
+        plan = FaultPlan.parse("crash@0:batch=0:scope=epoch")
+        with obs.use_registry(registry):
+            backend = _supervised(plan, ipc="shm")
+            try:
+                backend.broadcast(fitted_scrubber)
+                backend.classify(shard_flows, min_flows=3)
+                backend.broadcast(second_scrubber)  # epoch 2, version 2
+                second = backend.classify(shard_flows, min_flows=3)
+                third = backend.classify(shard_flows, min_flows=3)
+            finally:
+                backend.close()
+        assert second == third
+        assert _counter(registry, names.C_RESILIENCE_WORKER_RESTARTS) == 2
+
+    def test_poison_batch_quarantined_under_shm(
+        self, fitted_scrubber, workload, expected
+    ):
+        plan = FaultPlan.parse("crash@0:batch=0:count=2")
+        results, registry, _ = self._run_shm(
+            plan, fitted_scrubber, workload, n_calls=2
+        )
+        assert results == [expected, expected]
+        assert _counter(registry, names.C_RESILIENCE_BATCHES_QUARANTINED) == 1
+
+    def test_oversized_batches_fall_back_under_supervision(
+        self, fitted_scrubber, workload, expected
+    ):
+        results, registry, _ = self._run_shm(
+            FaultPlan(), fitted_scrubber, workload, ring_bytes=1024
+        )
+        assert results[0] == expected
+        assert _counter(registry, names.C_PARALLEL_IPC_FALLBACKS) == 2
+        assert _counter(registry, names.C_PARALLEL_IPC_RING_BYTES) == 0
+
+    def test_kill_per_epoch_with_shm_engine_is_bit_identical(
+        self, fitted_scrubber, second_scrubber
+    ):
+        """The acceptance scenario of docs/IPC.md: chaos + shm + redeploy."""
+        workload = strategies.labeled_flows(
+            strategies.rng_for(21), n_flows=900, n_targets=12, n_bins=6
+        )
+        redeploy = {3: second_scrubber}
+        serial = StreamingScrubber(**ENGINE_KWARGS).warm_start(fitted_scrubber)
+        bins = workload.time // BIN_SECONDS
+        expected = []
+        for b in range(int(bins.min()), int(bins.max()) + 1):
+            if b in redeploy:
+                serial.warm_start(redeploy[b])
+            expected.extend(serial.ingest(workload.select(bins == b)))
+        expected.extend(serial.flush())
+        assert expected
+
+        plan = FaultPlan.parse("crash@0:batch=0:scope=epoch")
+        with ShardedStreamingScrubber(
+            n_shards=2,
+            backend="supervised",
+            backend_options=dict(
+                shard_timeout=SAFE_TIMEOUT,
+                retry_backoff=0.0,
+                fault_plan=plan,
+                ipc="shm",
+            ),
+            **ENGINE_KWARGS,
+        ) as engine:
+            engine.warm_start(fitted_scrubber)
+            assert engine.ipc_mode == "shm"
+            actual = []
+            for b in range(int(bins.min()), int(bins.max()) + 1):
+                if b in redeploy:
+                    engine.warm_start(redeploy[b])
+                actual.extend(engine.ingest(workload.select(bins == b)))
+            actual.extend(engine.flush())
+            snap = engine.merged_snapshot()
+        assert actual == expected
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        assert counters.get(names.C_RESILIENCE_WORKER_RESTARTS, 0) == 2
+        assert counters.get(names.C_PARALLEL_IPC_RING_BYTES, 0) > 0
+        assert counters.get(names.C_PARALLEL_IPC_FALLBACKS, 0) == 0
+        # Every live worker is on a mapped model segment.
+        assert counters.get(names.C_PARALLEL_IPC_SEGMENT_REMAPS, 0) >= 1
