@@ -1,0 +1,96 @@
+"""Incremental-lint benchmark (BENCH_lint.json).
+
+Not a paper artifact — this guards the content-hash lint cache that
+makes ``repro lint`` cheap enough to run on every edit. Two timings of
+``run_lint`` over the *real* tree:
+
+* **cold** — no cache file: every module is parsed and every pass runs.
+* **warm** — an unchanged tree against a populated cache: the runner
+  hashes file bytes, matches the project fingerprint and reconstructs
+  the report without parsing a single module.
+
+The warm run must be at least ``BENCH_LINT_MIN_SPEEDUP`` times faster
+than cold (default 5; the observed ratio is two orders of magnitude)
+and both runs must produce byte-identical JSON — the same equivalence
+CI asserts through the CLI.
+
+Timings measure ``run_lint`` directly rather than the ``repro lint``
+process, so interpreter/numpy import time (~0.7 s, paid by any CLI) is
+not billed to the cache.
+
+Results land in ``BENCH_lint.json`` at the repo root.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/test_bench_lint.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import default_config, format_json, run_lint
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILE = _REPO_ROOT / "BENCH_lint.json"
+
+COLD_REPEATS = 3
+WARM_REPEATS = 9
+
+MIN_SPEEDUP = float(os.environ.get("BENCH_LINT_MIN_SPEEDUP", "5"))
+
+
+def _median_seconds(fn, repeats):
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), result
+
+
+def test_lint_cache_speedup(tmp_path):
+    config = default_config()
+    cache = tmp_path / "lint-cache.json"
+
+    def cold():
+        if cache.exists():
+            cache.unlink()
+        return run_lint(config, cache_path=cache)
+
+    def warm():
+        return run_lint(config, cache_path=cache)
+
+    cold_s, cold_result = _median_seconds(cold, COLD_REPEATS)
+    warm()  # populate once more so every timed warm run starts hot
+    warm_s, warm_result = _median_seconds(warm, WARM_REPEATS)
+
+    assert format_json(warm_result) == format_json(cold_result)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    payload = {
+        "modules_scanned": cold_result.modules_scanned,
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    data["lint_cache"] = payload
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    print()
+    print(
+        f"lint: cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms, "
+        f"speedup {speedup:.0f}x over {cold_result.modules_scanned} modules"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"(need {MIN_SPEEDUP}x): cold {cold_s:.3f}s warm {warm_s:.3f}s"
+    )

@@ -16,22 +16,43 @@ machine-checked ones. Four passes run over the AST of ``src/``:
   stdlib+numpy dependency rule.
 * **obs-names** (RS401–RS404) — the catalogue / emission / METRICS.md
   triangle stays closed in both directions.
+* **durability** (RS501–RS502) — recovery-critical files go through the
+  one sanctioned temp+fsync+rename writer.
+* **resource lifecycle** (RS601–RS604) — CFG dataflow proof that every
+  acquired OS resource (shm segments, rings, journals, file handles)
+  reaches a release on every path out of the function, including the
+  exception edges.
+* **hot-path discipline** (RS701–RS703) — no per-flow Python loops or
+  loop-level numpy reallocation in the modules declared hot.
+
+The RS6xx/RS7xx families run on the shared intraprocedural CFG and
+worklist dataflow solver in :mod:`repro.analysis.cfg`.
 
 Violations can be suppressed inline with a reason
 (``# repro: lint-ignore[RS101] why``) or grandfathered in the
 checked-in baseline (``lint-baseline.json``); unexplained ignores are
 themselves findings. Entry points: ``repro lint`` (CLI) and
-:func:`run_lint` (used by the test suite). The rule catalogue is
-documented in ``docs/ANALYSIS.md``.
+:func:`run_lint` (used by the test suite). Repeat runs go through the
+content-hash-keyed incremental cache (:mod:`repro.analysis.cache`);
+``repro lint --changed`` scopes the report to the git diff. The rule
+catalogue is documented in ``docs/ANALYSIS.md``.
 
 The package deliberately depends on nothing but the stdlib — it sits
 at the bottom of the layer DAG it enforces.
 """
 
 from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.cache import (
+    CACHE_VERSION,
+    analyzer_fingerprint,
+    load_cache,
+    save_cache,
+)
+from repro.analysis.cfg import CFG, DataflowAnalysis, solve
+from repro.analysis.changed import changed_paths, git_changed_files
 from repro.analysis.config import LintConfig, default_config
 from repro.analysis.findings import RULES, Finding, rule_exists
-from repro.analysis.passes import ALL_PASSES
+from repro.analysis.passes import ALL_PASSES, MODULE_PASSES, PROJECT_PASSES
 from repro.analysis.project import Module, Project
 from repro.analysis.runner import (
     LintResult,
@@ -44,19 +65,30 @@ from repro.analysis.suppressions import Suppression, scan_suppressions
 __all__ = [
     "ALL_PASSES",
     "Baseline",
+    "CACHE_VERSION",
+    "CFG",
+    "DataflowAnalysis",
     "Finding",
     "LintConfig",
     "LintResult",
+    "MODULE_PASSES",
     "Module",
+    "PROJECT_PASSES",
     "Project",
     "RULES",
     "Suppression",
+    "analyzer_fingerprint",
+    "changed_paths",
     "default_config",
     "format_human",
     "format_json",
+    "git_changed_files",
     "load_baseline",
+    "load_cache",
     "rule_exists",
     "run_lint",
+    "save_cache",
     "scan_suppressions",
+    "solve",
     "write_baseline",
 ]

@@ -1,0 +1,112 @@
+"""``repro lint --changed``: scope the report to what a diff can affect.
+
+The analysis itself always covers the whole project (cheap once the
+cache is warm); ``--changed`` only narrows which findings are
+*reported*. Scope = the modules whose files ``git`` says differ from
+``HEAD`` (plus untracked files), widened to every module that
+transitively imports one of them — an edit to ``shm.py`` can change
+layering or shard-safety findings in its importers, so importers stay
+in the report.
+
+Outside a git checkout (or when git itself fails) the function returns
+``None`` and the caller falls back to a full report — ``--changed`` is
+a convenience, never a correctness gate. Non-Python changes (docs,
+configs) do not narrow the scope selection; they simply are not
+modules, so a docs-only diff yields an empty report. CI runs without
+``--changed`` for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["changed_paths", "git_changed_files"]
+
+
+def git_changed_files(root: Path) -> Optional[list[str]]:
+    """Repo-relative posix paths that differ from HEAD, or None.
+
+    Covers staged + unstaged changes (``diff HEAD``) and untracked
+    files. Any git failure — not a repo, no HEAD yet, binary missing —
+    returns None so the caller can fall back to a full run.
+    """
+    out: list[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=True,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        out.extend(line.strip() for line in proc.stdout.splitlines())
+    return sorted({p for p in out if p})
+
+
+def _resolve_import(target: str, module_names: frozenset[str]) -> Optional[str]:
+    """The project module an import target lands in, if any.
+
+    ``repro.core.parallel.shm.ShmRing`` resolves to
+    ``repro.core.parallel.shm`` by longest-prefix match against the
+    known module names.
+    """
+    parts = target.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in module_names:
+            return candidate
+    return None
+
+
+def changed_paths(
+    root: Path,
+    modules: Mapping[str, tuple[str, Sequence[str]]],
+    changed: Optional[list[str]] = None,
+) -> Optional[tuple[str, ...]]:
+    """Report-filter paths for a ``--changed`` run, or None for full.
+
+    ``modules`` maps each module's rel path to ``(dotted_name,
+    import_targets)`` — exactly what the cache stores. The result is
+    the rel paths of every directly-changed module plus the transitive
+    closure of its reverse importers.
+    """
+    if changed is None:
+        changed = git_changed_files(root)
+    if changed is None:
+        return None
+
+    names = frozenset(name for name, _ in modules.values())
+    name_to_rel = {name: rel for rel, (name, _) in modules.items()}
+    # module name -> set of module names it imports (project-internal)
+    imports_of: dict[str, set[str]] = {}
+    for rel, (name, targets) in modules.items():
+        resolved = set()
+        for target in targets:
+            dep = _resolve_import(target, names)
+            if dep is not None and dep != name:
+                resolved.add(dep)
+        imports_of[name] = resolved
+
+    changed_set = set(changed)
+    affected = {name for rel, (name, _) in modules.items() if rel in changed_set}
+    # Reverse closure: keep widening until no module outside ``affected``
+    # imports a module inside it.
+    while True:
+        grown = {
+            name
+            for name, deps in imports_of.items()
+            if name not in affected and deps & affected
+        }
+        if not grown:
+            break
+        affected |= grown
+    return tuple(sorted(name_to_rel[name] for name in affected))

@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional
 
-__all__ = ["LintConfig", "default_config", "REPO_ROOT", "DEFAULT_LAYERS"]
+__all__ = [
+    "LintConfig",
+    "default_config",
+    "REPO_ROOT",
+    "DEFAULT_LAYERS",
+    "DEFAULT_RESOURCE_CONSTRUCTORS",
+]
 
 #: The repository root, derived from this file's location under
 #: ``src/repro/analysis/`` (parents: analysis, repro, src, root).
@@ -40,6 +46,25 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
         {"core", "experiments", "ixp", "netflow", "bgp", "traffic", "obs",
          "analysis", "scenarios"}
     ),
+}
+
+
+#: The OS-level resources this repository acquires, by constructor.
+#: Labels show up in RS6xx messages. ``open`` (the builtin) is listed
+#: for completeness; it is matched by bare name when unshadowed.
+DEFAULT_RESOURCE_CONSTRUCTORS: Mapping[str, str] = {
+    "open": "file handle",
+    "os.open": "file descriptor",
+    "os.fdopen": "file handle",
+    "multiprocessing.shared_memory.SharedMemory": "shared-memory segment",
+    "repro.core.parallel.shm.attach_segment": "shared-memory segment",
+    "repro.core.parallel.shm.ShmRing": "shm ring",
+    "repro.core.parallel.shm.ShmRing.attach": "shm ring",
+    "repro.core.parallel.shm.ModelPlane": "model plane",
+    "repro.core.parallel.shm.ModelPlane.attach": "model plane",
+    "repro.core.recovery.journal.VerdictJournal": "verdict journal",
+    "repro.core.recovery.journal.VerdictJournal.open": "verdict journal",
+    "repro.core.recovery.snapshot.CheckpointStore": "checkpoint store",
 }
 
 
@@ -98,6 +123,48 @@ class LintConfig:
         "repro.core.recovery.durable",
         "repro.core.recovery.journal",
     )
+    #: Resource constructors the lifecycle pass (RS601–RS604) tracks:
+    #: resolved dotted call path -> human label. Acquiring one of these
+    #: binds a resource that must reach a release method, a ``with``
+    #: block, an ownership transfer, or an escape on every path out of
+    #: the function — including the exception edges. The builtin
+    #: ``open`` is matched by name when not shadowed.
+    resource_constructors: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_RESOURCE_CONSTRUCTORS)
+    )
+    #: Method names that count as releasing the receiver.
+    resource_release_methods: frozenset[str] = frozenset(
+        {
+            "close", "destroy", "unlink", "release", "terminate", "kill",
+            "join", "shutdown", "stop", "finalize", "detach",
+        }
+    )
+    #: Trailing attribute names that mark a process spawn even when the
+    #: receiver cannot be resolved (``self._ctx.Process(...)``).
+    resource_spawn_attrs: frozenset[str] = frozenset({"Process", "Popen"})
+    #: Modules under the hot-path discipline (RS701–RS703): the
+    #: line-rate counting paths where per-flow Python loops and
+    #: loop-level numpy reallocation are throughput bugs.
+    hot_modules: tuple[str, ...] = (
+        "repro.core.features.sketches",
+        "repro.core.features.aggregation",
+        "repro.core.models.kernels",
+        "repro.core.parallel.shm",
+    )
+    #: Loop-target names that mark a per-flow/per-row loop (RS701).
+    flow_loop_targets: frozenset[str] = frozenset(
+        {
+            "flow", "row", "record", "pkt", "packet", "event", "sample",
+            "datapoint",
+        }
+    )
+    #: Iterable names that mark a per-flow loop regardless of target.
+    flow_loop_iterables: frozenset[str] = frozenset(
+        {"dataset", "flows", "batch", "batches", "records", "packets",
+         "rows", "samples"}
+    )
+    #: Incremental result cache (sha256-keyed); None disables caching.
+    cache_path: Optional[Path] = None
     #: Default baseline file.
     baseline_path: Optional[Path] = None
 
@@ -110,4 +177,5 @@ def default_config(root: Optional[Path] = None) -> LintConfig:
         rel_to=root,
         metrics_doc=root / "docs" / "METRICS.md",
         baseline_path=root / "lint-baseline.json",
+        cache_path=root / ".repro-lint-cache.json",
     )

@@ -51,6 +51,15 @@ RULES: dict[str, str] = {
     # durability
     "RS501": "bare write in a recovery-critical module (bypasses durable_write)",
     "RS502": "os.rename/os.replace in a recovery-critical module without fsync discipline",
+    # resource lifecycle (CFG dataflow)
+    "RS601": "acquired resource may leak on a normal path out of the function",
+    "RS602": "acquired resource leaks on an exception path (no cleanup handler)",
+    "RS603": "partial __init__: a raise after acquisition strands the resource on self",
+    "RS604": "resource ownership transferred to a class that defines no release method",
+    # hot-path discipline
+    "RS701": "per-flow/per-row Python loop in a module declared hot",
+    "RS702": "list-append accumulation feeding a numpy conversion — preallocate or vectorise",
+    "RS703": "np.concatenate/append/stack inside a loop — quadratic copying; batch instead",
 }
 
 

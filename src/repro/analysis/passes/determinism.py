@@ -262,12 +262,18 @@ class DeterminismPass:
     """RS101/RS102/RS103/RS104 over every module of the package."""
 
     name = "determinism"
+    scope = "module"
     rule_ids = ("RS101", "RS102", "RS103", "RS104")
 
     def run(self, project: Project, config: LintConfig) -> list[Finding]:
         findings: list[Finding] = []
         for module in project.modules:
-            if module.name.split(".")[0] != config.package:
-                continue
-            _ModuleVisitor(module, config, findings).visit(module.tree)
+            findings.extend(self.run_module(module, config))
+        return findings
+
+    def run_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        if module.name.split(".")[0] != config.package:
+            return []
+        findings: list[Finding] = []
+        _ModuleVisitor(module, config, findings).visit(module.tree)
         return findings

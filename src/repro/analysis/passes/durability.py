@@ -175,16 +175,22 @@ class DurabilityPass:
     """RS501/RS502 over the recovery-critical modules."""
 
     name = "durability"
+    scope = "module"
     rule_ids = ("RS501", "RS502")
 
     def run(self, project: Project, config: LintConfig) -> list[Finding]:
         findings: list[Finding] = []
         for module in project.modules:
-            if module.name.split(".")[0] != config.package:
-                continue
-            if not _in_prefixes(module.name, config.durable_modules):
-                continue
-            if _in_prefixes(module.name, config.durable_writers):
-                continue
-            _ModuleVisitor(module, config, findings).visit(module.tree)
+            findings.extend(self.run_module(module, config))
+        return findings
+
+    def run_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        if module.name.split(".")[0] != config.package:
+            return []
+        if not _in_prefixes(module.name, config.durable_modules):
+            return []
+        if _in_prefixes(module.name, config.durable_writers):
+            return []
+        findings: list[Finding] = []
+        _ModuleVisitor(module, config, findings).visit(module.tree)
         return findings

@@ -1,0 +1,271 @@
+"""Hot-path discipline pass: RS701–RS703 in modules declared hot.
+
+The throughput story of the engine rests on a handful of modules —
+sketch counting, feature aggregation, model kernels, the shm protocol
+— staying vectorised: one numpy operation over a whole batch instead
+of a Python-level loop over flows. A single stray per-flow loop in
+those files silently costs 10–100x. ``LintConfig.hot_modules`` names
+them; inside them this pass flags:
+
+* **RS701** — a ``for`` loop whose target is a per-flow/per-row name
+  (``flow``, ``row``, ``record``, ``pkt``...) or whose iterable is a
+  dataset-like name (``dataset``, ``flows``, ``batch``...). Loops over
+  sketch depths, categorical schema columns or row *blocks* are fine
+  and do not match.
+* **RS702** — accumulating into a list with ``.append`` inside a loop
+  and then feeding that list *directly* to a numpy conversion
+  (``np.array``/``asarray``/``concatenate``/``fromiter``/...): the
+  vectorised equivalent exists by construction, so preallocate or
+  build from arrays. The list must be passed as a bare name — lists
+  that are merely indexed into numpy expressions are bookkeeping, not
+  accumulation.
+* **RS703** — ``np.concatenate``/``np.append``/``vstack``/``hstack``/
+  ``stack`` *inside* a ``for``/``while`` loop: each iteration copies
+  everything accumulated so far — quadratic. Collect parts and
+  concatenate once after the loop.
+
+Comprehensions deliberately do not count as loops here: in this
+codebase they iterate schema columns and sketch depths (bounded by
+schema width, not flow count), and treating them as hot loops would
+flag the legitimate per-column ``np.concatenate`` folds in
+``aggregation.py``. The rules are syntactic; they share the function
+inventory (:func:`repro.analysis.cfg.iter_functions`) with the
+CFG-driven lifecycle pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.cfg import iter_functions
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    Module,
+    Project,
+    ScopeStack,
+    collect_bindings,
+    import_table,
+    resolve_dotted,
+)
+
+__all__ = ["HotPathPass"]
+
+#: Conversions that turn a Python list into an ndarray (RS702 sinks).
+_NUMPY_CONVERSIONS = frozenset(
+    "numpy." + n
+    for n in (
+        "array",
+        "asarray",
+        "asanyarray",
+        "ascontiguousarray",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "fromiter",
+    )
+)
+
+#: Calls that reallocate-and-copy the whole accumulation (RS703).
+_NUMPY_LOOP_GROWERS = frozenset(
+    "numpy." + n
+    for n in (
+        "concatenate",
+        "append",
+        "vstack",
+        "hstack",
+        "stack",
+        "row_stack",
+        "column_stack",
+    )
+)
+
+
+class _Unit:
+    """One analysis unit: the module top level or a single function."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: LintConfig,
+        imports: dict[str, str],
+        qualname: str,
+        scopes: ScopeStack,
+        findings: list[Finding],
+    ):
+        self.module = module
+        self.config = config
+        self.imports = imports
+        self.qualname = qualname
+        self.scopes = scopes
+        self.findings = findings
+        self.list_inits: dict[str, int] = {}
+        self.loop_appends: dict[str, ast.Call] = {}
+        self.numpy_fed: dict[str, ast.Call] = {}
+
+    def _report(
+        self, rule: str, node: ast.AST, message: str, key: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=message,
+                symbol=self.qualname,
+                key=key,
+            )
+        )
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk(stmt, 0)
+        for name in self.list_inits:
+            append = self.loop_appends.get(name)
+            sink = self.numpy_fed.get(name)
+            if append is not None and sink is not None:
+                self._report(
+                    "RS702",
+                    append,
+                    f"list {name!r} grows by append inside a loop and is "
+                    f"converted with a numpy call on line {sink.lineno} — "
+                    "preallocate the array or build it from whole-batch "
+                    "operations",
+                    key=f"append-accumulate:{name}",
+                )
+
+    def _walk(self, node: ast.AST, depth: int) -> None:
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            return  # nested units analyze themselves
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_rs701(node)
+            self._walk(node.iter, depth)
+            for child in node.body + node.orelse:
+                self._walk(child, depth + 1)
+            return
+        if isinstance(node, ast.While):
+            self._walk(node.test, depth)
+            for child in node.body + node.orelse:
+                self._walk(child, depth + 1)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, depth)
+        elif isinstance(node, ast.Assign):
+            self._check_list_init(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, depth)
+
+    def _check_rs701(self, node: ast.For) -> None:
+        target = node.target
+        if (
+            isinstance(target, ast.Name)
+            and target.id in self.config.flow_loop_targets
+        ):
+            self._report(
+                "RS701",
+                node,
+                f"per-flow Python loop (`for {target.id} in ...`) in hot "
+                f"module {self.module.name} — this path must stay "
+                "vectorised; operate on whole columns instead",
+                key=f"flow-loop:{target.id}",
+            )
+            return
+        if (
+            isinstance(node.iter, ast.Name)
+            and node.iter.id in self.config.flow_loop_iterables
+        ):
+            self._report(
+                "RS701",
+                node,
+                f"Python loop over {node.iter.id!r} in hot module "
+                f"{self.module.name} — this path must stay vectorised; "
+                "operate on whole columns instead",
+                key=f"flow-loop-iter:{node.iter.id}",
+            )
+
+    def _check_call(self, call: ast.Call, depth: int) -> None:
+        func = call.func
+        if (
+            depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr == "append"
+            and isinstance(func.value, ast.Name)
+        ):
+            self.loop_appends.setdefault(func.value.id, call)
+        dotted = resolve_dotted(func, self.scopes, self.imports)
+        if dotted is None:
+            return
+        if dotted in _NUMPY_CONVERSIONS:
+            for arg in call.args:
+                if isinstance(arg, ast.Name):
+                    self.numpy_fed.setdefault(arg.id, call)
+        if dotted in _NUMPY_LOOP_GROWERS and depth > 0:
+            short = dotted.replace("numpy.", "np.")
+            self._report(
+                "RS703",
+                call,
+                f"{short}() inside a loop copies the whole accumulation "
+                "every iteration (quadratic) — collect parts and "
+                "concatenate once after the loop",
+                key=f"concat-in-loop:{dotted}",
+            )
+
+    def _check_list_init(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        value = node.value
+        is_list = isinstance(value, ast.List) and not value.elts
+        is_list = is_list or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "list"
+            and not value.args
+        )
+        if is_list:
+            self.list_inits.setdefault(node.targets[0].id, node.lineno)
+
+
+class HotPathPass:
+    """RS701/RS702/RS703 over the modules declared hot."""
+
+    name = "hot_path"
+    scope = "module"
+    rule_ids = ("RS701", "RS702", "RS703")
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            findings.extend(self.run_module(module, config))
+        return findings
+
+    def run_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        if not any(
+            module.name == hot or module.name.startswith(hot + ".")
+            for hot in config.hot_modules
+        ):
+            return []
+        findings: list[Finding] = []
+        imports = import_table(module)
+        module_bindings = collect_bindings(module.tree)
+
+        top = _Unit(
+            module,
+            config,
+            imports,
+            "<module>",
+            ScopeStack(module_bindings),
+            findings,
+        )
+        top.run(module.tree.body)
+        for qualname, func, _cls in iter_functions(module.tree):
+            scopes = ScopeStack(module_bindings)
+            scopes.push(collect_bindings(func))
+            unit = _Unit(module, config, imports, qualname, scopes, findings)
+            unit.run(func.body)
+        return findings

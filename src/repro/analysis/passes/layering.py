@@ -36,21 +36,24 @@ _STDLIB = frozenset(getattr(sys, "stdlib_module_names", ())) | {
 
 class LayeringPass:
     name = "layering"
+    scope = "module"
     rule_ids = ("RS301", "RS302")
 
     def run(self, project: Project, config: LintConfig) -> list[Finding]:
         findings: list[Finding] = []
         for module in project.modules:
-            parts = module.name.split(".")
-            if parts[0] != config.package:
-                continue
-            own_layer = self._layer_of(module.name, config)
-            for node, target in runtime_imports(module):
-                finding = self._check(
-                    module, node, target, own_layer, config
-                )
-                if finding is not None:
-                    findings.append(finding)
+            findings.extend(self.run_module(module, config))
+        return findings
+
+    def run_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        if module.name.split(".")[0] != config.package:
+            return []
+        findings: list[Finding] = []
+        own_layer = self._layer_of(module.name, config)
+        for node, target in runtime_imports(module):
+            finding = self._check(module, node, target, own_layer, config)
+            if finding is not None:
+                findings.append(finding)
         return findings
 
     @staticmethod

@@ -220,6 +220,7 @@ class _EmissionScanner(ast.NodeVisitor):
 
 class ObsNamesPass:
     name = "obs-names"
+    scope = "project"
     rule_ids = ("RS401", "RS402", "RS403", "RS404")
 
     def run(self, project: Project, config: LintConfig) -> list[Finding]:

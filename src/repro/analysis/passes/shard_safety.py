@@ -474,6 +474,7 @@ class ShardSafetyPass:
     """RS201-RS203 over worker-reachable code; RS204 everywhere else."""
 
     name = "shard-safety"
+    scope = "project"
     rule_ids = ("RS201", "RS202", "RS203", "RS204")
 
     def run(self, project: Project, config: LintConfig) -> list[Finding]:

@@ -32,9 +32,35 @@ __all__ = [
     "attr_chain",
     "collect_bindings",
     "import_table",
+    "iter_source_files",
     "resolve_dotted",
     "runtime_imports",
 ]
+
+
+def iter_source_files(
+    src_root: Path, rel_to: Optional[Path] = None
+) -> list[tuple[Path, str, str]]:
+    """Every ``(path, dotted_name, rel)`` under one source root.
+
+    The single source of truth for which files a lint run covers —
+    :meth:`Project.load` parses exactly this list, and the incremental
+    cache hashes exactly this list, so a warm run can verify coverage
+    without parsing anything.
+    """
+    src_root = src_root.resolve()
+    base = (rel_to or src_root.parent).resolve()
+    out: list[tuple[Path, str, str]] = []
+    for path in sorted(src_root.rglob("*.py")):
+        relparts = path.relative_to(src_root).parts
+        if relparts[-1] == "__init__.py":
+            dotted = ".".join(relparts[:-1])
+        else:
+            dotted = ".".join(relparts)[: -len(".py")]
+        if not dotted:  # a bare __init__.py directly in src_root
+            continue
+        out.append((path, dotted, path.relative_to(base).as_posix()))
+    return out
 
 
 @dataclass
@@ -73,26 +99,13 @@ class Project:
         prefix findings display (default: ``src_root``'s parent, so
         paths read ``src/repro/...`` from the repo root).
         """
-        src_root = src_root.resolve()
-        base = (rel_to or src_root.parent).resolve()
         modules = []
-        for path in sorted(src_root.rglob("*.py")):
-            relparts = path.relative_to(src_root).parts
-            if relparts[-1] == "__init__.py":
-                dotted = ".".join(relparts[:-1])
-            else:
-                dotted = ".".join(relparts)[: -len(".py")]
-            if not dotted:  # a bare __init__.py directly in src_root
-                continue
+        for path, dotted, rel in iter_source_files(src_root, rel_to):
             source = path.read_text(encoding="utf-8")
             tree = ast.parse(source, filename=str(path))
             modules.append(
                 Module(
-                    name=dotted,
-                    path=path,
-                    rel=path.relative_to(base).as_posix(),
-                    source=source,
-                    tree=tree,
+                    name=dotted, path=path, rel=rel, source=source, tree=tree
                 )
             )
         return cls(modules)

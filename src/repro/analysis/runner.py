@@ -15,19 +15,43 @@ share. The filtering order matters and is part of the contract:
 
 Exit semantics (used by ``repro lint`` and CI): findings outside the
 baseline -> 1, otherwise 0.
+
+With ``cache_path`` set, results are reused through the incremental
+cache (:mod:`repro.analysis.cache`): a fully warm run hashes file bytes
+and never parses; a partially warm run reruns the module-scoped passes
+on changed files only. The reported findings are identical either way —
+the JSON report of a warm run is byte-for-byte the cold report, which
+CI asserts.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.cache import (
+    analyzer_fingerprint,
+    file_sha,
+    load_cache,
+    module_record,
+    project_fingerprint,
+    restore_findings,
+    restore_suppressions,
+    save_cache,
+)
+from repro.analysis.changed import changed_paths
 from repro.analysis.config import LintConfig
 from repro.analysis.findings import RULES, Finding
-from repro.analysis.passes import ALL_PASSES
-from repro.analysis.project import Project
+from repro.analysis.passes import MODULE_PASSES, PROJECT_PASSES
+from repro.analysis.project import (
+    Module,
+    Project,
+    iter_source_files,
+    runtime_imports,
+)
 from repro.analysis.suppressions import Suppression, scan_suppressions
 
 __all__ = ["LintResult", "run_lint", "format_human", "format_json"]
@@ -61,11 +85,111 @@ def _under(finding: Finding, paths: Sequence[str]) -> bool:
     )
 
 
+def _module_results(
+    module: Module, config: LintConfig
+) -> tuple[list[Finding], list[Suppression], list[str]]:
+    """Everything derivable from one module's content alone."""
+    findings: list[Finding] = []
+    for pass_cls in MODULE_PASSES:
+        findings.extend(pass_cls().run_module(module, config))
+    suppressions: list[Suppression] = []
+    if module.name.split(".")[0] == config.package:
+        suppressions, malformed = scan_suppressions(module.rel, module.source)
+        findings.extend(malformed)
+    imports = sorted({target for _, target in runtime_imports(module)})
+    return findings, suppressions, imports
+
+
+def _analyze(
+    config: LintConfig, cache_path: Optional[Path]
+) -> tuple[list[Finding], list[Suppression], int, dict]:
+    """All raw findings + suppressions, through the cache when enabled.
+
+    Returns ``(raw_findings, suppressions, modules_scanned,
+    module_meta)`` where ``module_meta`` maps each rel path to
+    ``(dotted_name, import_targets)`` for ``--changed`` scoping.
+    """
+    entries = iter_source_files(config.src_root, rel_to=config.rel_to)
+
+    if cache_path is None:
+        # No caching: parse and run everything, skip all hashing.
+        project = Project.load(config.src_root, rel_to=config.rel_to)
+        raw: list[Finding] = []
+        suppressions: list[Suppression] = []
+        meta: dict = {}
+        for module in project.modules:
+            findings, sups, imports = _module_results(module, config)
+            raw.extend(findings)
+            suppressions.extend(sups)
+            meta[module.rel] = (module.name, imports)
+        for pass_cls in PROJECT_PASSES:
+            raw.extend(pass_cls().run(project, config))
+        return raw, suppressions, len(project.modules), meta
+
+    analyzer = analyzer_fingerprint(config)
+    cache = load_cache(cache_path, analyzer)
+    shas = {rel: file_sha(path) for path, _, rel in entries}
+    fingerprint = project_fingerprint(analyzer, shas, config.metrics_doc)
+
+    if (
+        cache is not None
+        and set(cache["modules"]) == set(shas)
+        and all(cache["modules"][rel]["sha256"] == shas[rel] for rel in shas)
+        and cache["project"]["fingerprint"] == fingerprint
+    ):
+        # Fully warm: reconstruct without parsing a single file.
+        raw = []
+        suppressions = []
+        meta = {}
+        for _, _, rel in entries:
+            record = cache["modules"][rel]
+            raw.extend(restore_findings(record["findings"]))
+            suppressions.extend(restore_suppressions(rel, record["suppressions"]))
+            meta[rel] = (record["name"], record["imports"])
+        raw.extend(restore_findings(cache["project"]["findings"]))
+        return raw, suppressions, len(entries), meta
+
+    # Cold or partially warm: parse everything, rerun module passes on
+    # changed files only, reuse the rest from the cache.
+    project = Project.load(config.src_root, rel_to=config.rel_to)
+    raw = []
+    suppressions = []
+    meta = {}
+    records: dict[str, dict] = {}
+    cached_modules = cache["modules"] if cache is not None else {}
+    for module in project.modules:
+        sha = shas[module.rel]
+        record = cached_modules.get(module.rel)
+        if record is not None and record["sha256"] == sha:
+            findings = restore_findings(record["findings"])
+            sups = restore_suppressions(module.rel, record["suppressions"])
+            imports = list(record["imports"])
+        else:
+            findings, sups, imports = _module_results(module, config)
+        raw.extend(findings)
+        suppressions.extend(sups)
+        meta[module.rel] = (module.name, imports)
+        records[module.rel] = module_record(
+            module.name, sha, findings, sups, imports
+        )
+    if cache is not None and cache["project"]["fingerprint"] == fingerprint:
+        project_findings = restore_findings(cache["project"]["findings"])
+    else:
+        project_findings = []
+        for pass_cls in PROJECT_PASSES:
+            project_findings.extend(pass_cls().run(project, config))
+    raw.extend(project_findings)
+    save_cache(cache_path, analyzer, records, fingerprint, project_findings)
+    return raw, suppressions, len(project.modules), meta
+
+
 def run_lint(
     config: LintConfig,
     paths: Sequence[str] = (),
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    cache_path: Optional[Path] = None,
+    changed_only: bool = False,
 ) -> LintResult:
     """Run every pass and fold in suppressions and the baseline.
 
@@ -73,22 +197,23 @@ def run_lint(
     relative to the lint root); the analysis itself always sees the
     whole project. ``rules`` restricts to a subset of rule ids.
     ``baseline=None`` loads ``config.baseline_path``; pass an empty
-    :class:`Baseline` to lint without one.
+    :class:`Baseline` to lint without one. ``cache_path`` enables the
+    incremental cache (None keeps the runner stateless).
+    ``changed_only`` further scopes the report to modules reachable
+    from the git diff; outside a git checkout it degrades to a full
+    report.
     """
-    project = Project.load(config.src_root, rel_to=config.rel_to)
-    result = LintResult(modules_scanned=len(project.modules))
+    raw, suppressions, modules_scanned, module_meta = _analyze(
+        config, cache_path
+    )
+    result = LintResult(modules_scanned=modules_scanned)
 
-    raw: list[Finding] = []
-    for pass_cls in ALL_PASSES:
-        raw.extend(pass_cls().run(project, config))
-
-    suppressions: list[Suppression] = []
-    for module in project.modules:
-        if module.name.split(".")[0] != config.package:
-            continue
-        found, malformed = scan_suppressions(module.rel, module.source)
-        suppressions.extend(found)
-        raw.extend(malformed)
+    scope: Optional[frozenset] = None
+    if changed_only:
+        root = config.rel_to if config.rel_to else config.src_root.parent
+        scoped = changed_paths(root, module_meta)
+        if scoped is not None:
+            scope = frozenset(scoped)
 
     kept: list[Finding] = []
     for finding in raw:
@@ -147,6 +272,8 @@ def run_lint(
 
     for finding in sorted(kept, key=lambda f: f.sort_key):
         if not _under(finding, paths):
+            continue
+        if scope is not None and finding.path not in scope:
             continue
         if finding in baseline:
             result.baselined.append(finding)

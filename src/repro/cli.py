@@ -489,7 +489,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
     baseline = Baseline() if args.no_baseline else None
     result = run_lint(
-        config, paths=tuple(args.paths), rules=rules, baseline=baseline
+        config,
+        paths=tuple(args.paths),
+        rules=rules,
+        baseline=baseline,
+        cache_path=None if args.no_cache else config.cache_path,
+        changed_only=args.changed,
     )
     if args.write_baseline:
         write_baseline(config.baseline_path, result.findings)
@@ -754,6 +759,18 @@ def main(argv: list[str] | None = None) -> int:
         "--write-baseline",
         action="store_true",
         help="grandfather the current findings into the baseline file",
+    )
+    lint_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write .repro-lint-cache.json (CI runs "
+        "cold; results are identical either way)",
+    )
+    lint_parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only modules reachable from the git diff "
+        "(falls back to a full report outside a git checkout)",
     )
     lint_parser.set_defaults(func=_cmd_lint)
     args = parser.parse_args(argv)

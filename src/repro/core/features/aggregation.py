@@ -355,7 +355,8 @@ def _aggregate_batch(
         # sort on the metric alone breaks ties exactly like the loop
         # path's reversed stable argsort.
         seg_counts = np.bincount(seg_group, minlength=n_groups)
-        seg_gstart = np.concatenate([[0], np.cumsum(seg_counts)[:-1]])
+        # Exclusive prefix sum, without rebuilding an array per category.
+        seg_gstart = np.cumsum(seg_counts) - seg_counts
         idx = np.arange(n_seg)
         rev = seg_gstart[seg_group] + seg_counts[seg_group] - 1 - (idx - seg_gstart[seg_group])
         key_d = seg_key[rev]

@@ -227,89 +227,91 @@ def _worker_main(conn, shard_index: int, ring_name: Optional[str] = None) -> Non
     ring = shm.ShmRing.attach(ring_name) if ring_name is not None else None
     model_segment = None
     retired_segments: list = []
-    while True:
-        try:
-            message = conn.recv()
-        except EOFError:
-            break
-        kind = message[0]
-        if kind == "stop":
-            break
-        if kind == "model":
-            scrubber = pickle.loads(message[1])
-            assembler = scrubber.make_assembler()
-        elif kind == "model_shm":
-            segment_name, version = message[1], message[2]
-            # Drop references into the previous segment before loading,
-            # so its buffers can actually be released.
-            scrubber = assembler = None
-            scrubber, segment = shm.load_model(segment_name, version)
-            assembler = scrubber.make_assembler()
-            if model_segment is not None:
-                retired_segments.append(model_segment)
-            model_segment = segment
-            retired_segments = _close_retired_segments(retired_segments)
-            with obs.use_registry(registry):
-                obs.counter(names.C_PARALLEL_IPC_SEGMENT_REMAPS).inc()
-        elif kind in ("classify", "classify_shm"):
-            if kind == "classify":
-                columns, min_flows = message[1], message[2]
-                directive = message[3] if len(message) > 3 else None
-                agg = message[4] if len(message) > 4 else None
-                if directive is not None and _execute_fault(conn, directive):
-                    continue
-                flows = FlowDataset(columns)
-                seqno = None
-            else:
-                seqno, offset, nbytes, min_flows, directive, agg = message[1:7]
-                # Faults fire before the ring read: a crash here leaves
-                # the frame unacked, which is exactly the orphan the
-                # supervisor's reclaim path must clean up.
-                if directive is not None and _execute_fault(conn, directive):
-                    continue
-                try:
-                    flows = ring.read_flows(seqno, offset, nbytes)
-                except shm.ShmProtocolError as exc:
-                    conn.send((_IPC_ERROR, str(exc)))
-                    continue
-            with obs.use_registry(registry):
-                with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
-                    obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
-                    if agg is not None:
-                        reply = _sketch_shard_state(flows, agg)
-                    else:
-                        reply = scrubber.classify_flows_batch(
-                            flows, min_flows=min_flows, assembler=assembler
-                        )
-            if seqno is not None:
-                # Verdicts/sketch states copy out of the batch, so the
-                # frame is dead; ack before replying — the coordinator
-                # may dispatch the next batch as soon as it hears back.
-                del flows
-                ring.ack(seqno)
-            conn.send(reply)
-        elif kind in ("echo", "echo_shm"):
-            # Transport self-test for the IPC benchmark: rebuild the
-            # batch exactly as classify would, reply with the row count.
-            if kind == "echo":
-                flows = FlowDataset(message[1])
-                conn.send(len(flows))
-            else:
-                seqno, offset, nbytes = message[1], message[2], message[3]
-                try:
-                    flows = ring.read_flows(seqno, offset, nbytes)
-                except shm.ShmProtocolError as exc:
-                    conn.send((_IPC_ERROR, str(exc)))
-                    continue
-                rows = len(flows)
-                del flows
-                ring.ack(seqno)
-                conn.send(rows)
-        elif kind == "snapshot":
-            conn.send(obs.snapshot(registry))
-    if ring is not None:
-        ring.close()
-    conn.close()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "model":
+                scrubber = pickle.loads(message[1])
+                assembler = scrubber.make_assembler()
+            elif kind == "model_shm":
+                segment_name, version = message[1], message[2]
+                # Drop references into the previous segment before loading,
+                # so its buffers can actually be released.
+                scrubber = assembler = None
+                scrubber, segment = shm.load_model(segment_name, version)
+                assembler = scrubber.make_assembler()
+                if model_segment is not None:
+                    retired_segments.append(model_segment)
+                model_segment = segment
+                retired_segments = _close_retired_segments(retired_segments)
+                with obs.use_registry(registry):
+                    obs.counter(names.C_PARALLEL_IPC_SEGMENT_REMAPS).inc()
+            elif kind in ("classify", "classify_shm"):
+                if kind == "classify":
+                    columns, min_flows = message[1], message[2]
+                    directive = message[3] if len(message) > 3 else None
+                    agg = message[4] if len(message) > 4 else None
+                    if directive is not None and _execute_fault(conn, directive):
+                        continue
+                    flows = FlowDataset(columns)
+                    seqno = None
+                else:
+                    seqno, offset, nbytes, min_flows, directive, agg = message[1:7]
+                    # Faults fire before the ring read: a crash here leaves
+                    # the frame unacked, which is exactly the orphan the
+                    # supervisor's reclaim path must clean up.
+                    if directive is not None and _execute_fault(conn, directive):
+                        continue
+                    try:
+                        flows = ring.read_flows(seqno, offset, nbytes)
+                    except shm.ShmProtocolError as exc:
+                        conn.send((_IPC_ERROR, str(exc)))
+                        continue
+                with obs.use_registry(registry):
+                    with obs.span(names.SPAN_PARALLEL_SHARD_CLASSIFY):
+                        obs.counter(names.C_PARALLEL_SHARD_FLOWS).inc(len(flows))
+                        if agg is not None:
+                            reply = _sketch_shard_state(flows, agg)
+                        else:
+                            reply = scrubber.classify_flows_batch(
+                                flows, min_flows=min_flows, assembler=assembler
+                            )
+                if seqno is not None:
+                    # Verdicts/sketch states copy out of the batch, so the
+                    # frame is dead; ack before replying — the coordinator
+                    # may dispatch the next batch as soon as it hears back.
+                    del flows
+                    ring.ack(seqno)
+                conn.send(reply)
+            elif kind in ("echo", "echo_shm"):
+                # Transport self-test for the IPC benchmark: rebuild the
+                # batch exactly as classify would, reply with the row count.
+                if kind == "echo":
+                    flows = FlowDataset(message[1])
+                    conn.send(len(flows))
+                else:
+                    seqno, offset, nbytes = message[1], message[2], message[3]
+                    try:
+                        flows = ring.read_flows(seqno, offset, nbytes)
+                    except shm.ShmProtocolError as exc:
+                        conn.send((_IPC_ERROR, str(exc)))
+                        continue
+                    rows = len(flows)
+                    del flows
+                    ring.ack(seqno)
+                    conn.send(rows)
+            elif kind == "snapshot":
+                conn.send(obs.snapshot(registry))
+    finally:
+        if ring is not None:
+            ring.close()
+        conn.close()
 
 
 class ProcessBackend:
@@ -387,6 +389,8 @@ class ProcessBackend:
         """(Re)spawn the worker process serving one shard slot."""
         parent_conn, child_conn = self._ctx.Pipe()
         ring = self._rings[shard]
+        # repro: lint-ignore[RS602] a Process that never start()ed holds
+        # no OS resources to release; terminate() on it would be a no-op
         proc = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, shard, None if ring is None else ring.name),

@@ -224,27 +224,39 @@ class ShmRing:
             self._shm = shared_memory.SharedMemory(
                 name=name, create=True, size=_CTRL_BYTES + capacity
             )
-            # Pre-fault the data region: first-touch page allocation is
-            # a kernel zeroing pass that would otherwise stall the first
-            # dispatch cycle through each ring position mid-stream.
-            np.frombuffer(self._shm.buf, dtype=np.uint8)[:] = 0
-            ctrl = self._ctrl_view()
-            ctrl[_C_GEN] = 0
-            ctrl[_C_HEAD] = 0
-            ctrl[_C_PRODUCED] = 0
-            ctrl[_C_CONSUMED] = 0
-            ctrl[_C_CAPACITY] = capacity
-            ctrl[_C_MAGIC] = _CTRL_MAGIC  # last: marks the block valid
-        else:
-            self._shm = attach_segment(_attach_name)
-            ctrl = self._ctrl_view()
-            if int(ctrl[_C_MAGIC]) != _CTRL_MAGIC:
-                del ctrl  # release the view so the unmap can succeed
+            try:
+                # Pre-fault the data region: first-touch page allocation
+                # is a kernel zeroing pass that would otherwise stall the
+                # first dispatch cycle through each ring position
+                # mid-stream.
+                np.frombuffer(self._shm.buf, dtype=np.uint8)[:] = 0
+                ctrl = self._ctrl_view()
+                ctrl[_C_GEN] = 0
+                ctrl[_C_HEAD] = 0
+                ctrl[_C_PRODUCED] = 0
+                ctrl[_C_CONSUMED] = 0
+                ctrl[_C_CAPACITY] = capacity
+                ctrl[_C_MAGIC] = _CTRL_MAGIC  # last: marks the block valid
+            except BaseException:
+                ctrl = None  # drop the view so the unmap can succeed
                 self._closed = True
                 self._shm.close()
-                raise ShmProtocolError(
-                    f"segment {_attach_name!r} has no valid ring control block"
-                )
+                self._shm.unlink()
+                raise
+        else:
+            self._shm = attach_segment(_attach_name)
+            try:
+                ctrl = self._ctrl_view()
+                if int(ctrl[_C_MAGIC]) != _CTRL_MAGIC:
+                    raise ShmProtocolError(
+                        f"segment {_attach_name!r} has no valid ring "
+                        "control block"
+                    )
+            except BaseException:
+                ctrl = None  # drop the view so the unmap can succeed
+                self._closed = True
+                self._shm.close()
+                raise
         self._ctrl = ctrl
 
     @classmethod
@@ -457,28 +469,38 @@ class ModelPlane:
         version = self._version + 1
         name = _segment_name("plane", f"{self._token}-{version}")
         segment = shared_memory.SharedMemory(name=name, create=True, size=total)
-        crc = zlib.crc32(stream)
-        segment.buf[stream_off:stream_off + len(stream)] = stream
-        lengths = np.frombuffer(
-            segment.buf, dtype=np.uint64, count=len(raws),
-            offset=_PLANE_HEADER_BYTES,
-        )
-        for index, raw in enumerate(raws):
-            lengths[index] = raw.nbytes
-            flat = np.frombuffer(
-                segment.buf, dtype=np.uint8, count=raw.nbytes,
-                offset=offsets[index],
+        try:
+            crc = zlib.crc32(stream)
+            segment.buf[stream_off:stream_off + len(stream)] = stream
+            lengths = np.frombuffer(
+                segment.buf, dtype=np.uint64, count=len(raws),
+                offset=_PLANE_HEADER_BYTES,
             )
-            flat[:] = np.frombuffer(raw, dtype=np.uint8)
-            crc = zlib.crc32(flat, crc)
-            del flat
-        del lengths  # release exported views before any later close()
-        _PLANE_HEADER.pack_into(
-            segment.buf, 0, _PLANE_MAGIC, version, len(stream), len(raws), crc
-        )
+            for index, raw in enumerate(raws):
+                lengths[index] = raw.nbytes
+                flat = np.frombuffer(
+                    segment.buf, dtype=np.uint8, count=raw.nbytes,
+                    offset=offsets[index],
+                )
+                flat[:] = np.frombuffer(raw, dtype=np.uint8)
+                crc = zlib.crc32(flat, crc)
+                del flat
+            del lengths  # release exported views before any later close()
+            _PLANE_HEADER.pack_into(
+                segment.buf, 0, _PLANE_MAGIC, version, len(stream), len(raws), crc
+            )
+        except BaseException:
+            lengths = flat = None  # drop views so the unmap can succeed
+            segment.close()
+            segment.unlink()
+            raise
+        # Transfer ownership before anything else can raise: from here
+        # on destroy() reclaims the segment.
+        previous = self._segment
+        self._segment = segment
+        self._version = version
         for buffer in buffers:
             buffer.release()
-        previous, self._segment, self._version = self._segment, segment, version
         if previous is not None:
             previous.close()
             try:
@@ -510,6 +532,9 @@ def load_model(name: str, expected_version: int):
     numpy arrays are views into it. Raises :class:`ShmProtocolError`
     on magic/version/crc mismatch.
     """
+    # repro: lint-ignore[RS602] the handler releases every view before
+    # segment.close(); a raise from those releases means buffers are
+    # still exported and the segment could not be unmapped anyway
     segment = attach_segment(name)
     view: Optional[memoryview] = None
     stream: Optional[memoryview] = None

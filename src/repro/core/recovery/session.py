@@ -98,15 +98,20 @@ class RecoverySession:
                 "--resume to continue that run or use an empty directory"
             )
         self._journal = VerdictJournal.open(journal_path)
-        self._store = CheckpointStore(
-            self.directory,
-            injector=DiskFaultInjector(fault_specs),
-            crash_handler=crash_handler,
-        )
-        self._restored_tick = -1
-        self._replay_entries = {e.tick: e for e in self._journal.entries}
-        if resume:
-            self._restore()
+        try:
+            self._store = CheckpointStore(
+                self.directory,
+                injector=DiskFaultInjector(fault_specs),
+                crash_handler=crash_handler,
+            )
+            self._restored_tick = -1
+            self._replay_entries = {e.tick: e for e in self._journal.entries}
+            if resume:
+                self._restore()
+        except BaseException:
+            # A half-built session must not strand the journal's fd.
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     def _restore(self) -> None:

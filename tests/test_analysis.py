@@ -301,6 +301,145 @@ CORPUS = {
                 with open(path, "w") as handle:
                     handle.write(text)
             """,
+        # The resource-lifecycle (RS601–RS604) showcase: every function
+        # exercises one path shape the CFG dataflow must get right.
+        "repro/core/parallel/lifecycle.py": """\
+            from repro.core.parallel.shm import ShmRing
+
+
+            def leak_normal(cond):
+                branchy = ShmRing()
+                if cond:
+                    branchy.close()
+                return None
+
+
+            def discard_result():
+                ShmRing.attach("stale")
+
+
+            def leaks_on_raise():
+                fragile = ShmRing()
+                fragile.write_flows(1)
+                fragile.close()
+
+
+            def closes_in_finally():
+                guarded = ShmRing()
+                try:
+                    guarded.write_flows(1)
+                finally:
+                    guarded.close()
+
+
+            def handler_reraises():
+                handled = ShmRing()
+                try:
+                    handled.write_flows(1)
+                except Exception:
+                    handled.close()
+                    raise
+                handled.close()
+
+
+            def managed(path):
+                with open(path) as handle:
+                    return handle.read()
+
+
+            def conditional_acquire(cond):
+                optional = ShmRing() if cond else None
+                if optional is not None:
+                    optional.close()
+
+
+            def alias_escapes():
+                source = ShmRing()
+                other = source
+                other.close()
+
+
+            def spawn_worker(ctx):
+                proc = ctx.Process(target=None)
+                proc.start()
+                proc.join()
+
+
+            class RingOwner:
+                def __init__(self, validate):
+                    self._ring = ShmRing()
+                    if validate:
+                        self._validate()
+
+                def _validate(self):
+                    return True
+
+                def close(self):
+                    self._ring.close()
+
+
+            class SafeRingOwner:
+                def __init__(self, validate):
+                    self._careful = ShmRing()
+                    try:
+                        if validate:
+                            self._validate()
+                    except BaseException:
+                        self.close()
+                        raise
+
+                def _validate(self):
+                    return True
+
+                def close(self):
+                    self._careful.close()
+
+
+            class RingHoarder:
+                def __init__(self):
+                    loot = ShmRing()
+                    self._plunder = loot
+
+
+            class DerivedOwner(RingOwner):
+                def __init__(self):
+                    self._inherited = ShmRing()
+            """,
+        # The hot-path (RS701–RS703) showcase: aggregation is a hot
+        # module by default config.
+        "repro/core/features/aggregation.py": """\
+            import numpy as np
+
+
+            def per_flow_fold(dataset, batches):
+                out = []
+                for flow in dataset:
+                    out.append(flow)
+                total = np.zeros(1)
+                for chunk in batches:
+                    total = np.concatenate([total, chunk])
+                return np.asarray(out), total
+
+
+            def vectorised_fold(columns):
+                parts = [np.asarray(column) for column in columns]
+                return np.concatenate(parts)
+
+
+            def bounded_loop(depths):
+                acc = []
+                for depth in depths:
+                    acc.append(depth)
+                return acc
+            """,
+        # RS701 negative: the same per-flow loop outside a hot module.
+        "repro/core/pipeline_glue.py": """\
+            def per_flow_glue(dataset):
+                total = 0
+                for flow in dataset:
+                    total += 1
+                return total
+            """,
     }.items()
 }
 
@@ -633,6 +772,110 @@ def test_rs502_bare_rename_in_durable_modules(corpus):
     }
 
 
+LIFE = "repro/core/parallel/lifecycle.py"
+AGG = "repro/core/features/aggregation.py"
+
+
+def test_rs601_normal_path_leak(corpus):
+    _, result = corpus
+    assert hits(result, "RS601") == {
+        # Released only on one branch: the else-path leaks.
+        (src(LIFE), line_of(LIFE, "branchy = ShmRing()")),
+        # The return value of a constructor dropped on the floor.
+        (src(LIFE), line_of(LIFE, 'ShmRing.attach("stale")')),
+    }
+    # Negatives: try/finally, with-managed, refinement-guarded and
+    # aliased acquisitions are all settled.
+    clean = {
+        line_of(LIFE, "guarded = ShmRing()"),
+        line_of(LIFE, "with open(path) as handle"),
+        line_of(LIFE, "optional = ShmRing() if cond else None"),
+        line_of(LIFE, "source = ShmRing()"),
+    }
+    assert not {f.line for f in result.findings if f.path == src(LIFE)} & clean
+
+
+def test_rs602_exception_path_leak(corpus):
+    _, result = corpus
+    assert hits(result, "RS602") == {
+        # write_flows may raise before the close at the end.
+        (src(LIFE), line_of(LIFE, "fragile = ShmRing()")),
+        # Process.start may raise before join settles it.
+        (src(LIFE), line_of(LIFE, "proc = ctx.Process(target=None)")),
+    }
+    # Negative: a handler that releases and re-raises settles the
+    # exception path.
+    assert (src(LIFE), line_of(LIFE, "handled = ShmRing()")) not in hits(
+        result, "RS602"
+    )
+
+
+def test_rs603_init_strands_resource(corpus):
+    _, result = corpus
+    assert hits(result, "RS603") == {
+        # _validate() may raise after the ring landed on self._ring.
+        (src(LIFE), line_of(LIFE, "self._ring = ShmRing()")),
+    }
+    # Negative: the except-BaseException/close/raise shape settles it.
+    assert (
+        src(LIFE),
+        line_of(LIFE, "self._careful = ShmRing()"),
+    ) not in hits(result, "RS603")
+
+
+def test_rs604_owner_cannot_release(corpus):
+    _, result = corpus
+    assert hits(result, "RS604") == {
+        # RingHoarder takes ownership but defines no release method.
+        (src(LIFE), line_of(LIFE, "self._plunder = loot")),
+    }
+    # Negatives: a class with close(), and a derived class whose base
+    # may provide the release.
+    for needle in ("self._careful = ShmRing()", "self._inherited = ShmRing()"):
+        assert (src(LIFE), line_of(LIFE, needle)) not in hits(result, "RS604")
+
+
+def test_rs701_per_flow_loop_in_hot_module(corpus):
+    _, result = corpus
+    assert hits(result, "RS701") == {
+        (src(AGG), line_of(AGG, "for flow in dataset")),
+        (src(AGG), line_of(AGG, "for chunk in batches")),
+    }
+    # Negatives: a neutral loop in the hot module; the same per-flow
+    # loop outside a hot module.
+    assert (src(AGG), line_of(AGG, "for depth in depths")) not in hits(
+        result, "RS701"
+    )
+    glue = "repro/core/pipeline_glue.py"
+    assert src(glue) not in {f.path for f in result.findings}
+
+
+def test_rs702_list_append_feeds_numpy(corpus):
+    _, result = corpus
+    assert hits(result, "RS702") == {
+        (src(AGG), line_of(AGG, "out.append(flow)")),
+    }
+    (finding,) = [f for f in result.findings if f.rule == "RS702"]
+    # The message names the conversion sink that makes the list hot.
+    assert str(line_of(AGG, "np.asarray(out)")) in finding.message
+    # Negative: a loop-built list never handed to numpy is fine.
+    assert (src(AGG), line_of(AGG, "acc.append(depth)")) not in hits(
+        result, "RS702"
+    )
+
+
+def test_rs703_numpy_growth_in_loop(corpus):
+    _, result = corpus
+    assert hits(result, "RS703") == {
+        (src(AGG), line_of(AGG, "np.concatenate([total, chunk])")),
+    }
+    # Negative: one concatenate over comprehension parts, outside any
+    # loop, is the recommended shape.
+    assert (src(AGG), line_of(AGG, "np.concatenate(parts)")) not in hits(
+        result, "RS703"
+    )
+
+
 # --------------------------------------------------------------------------
 # Suppressions
 # --------------------------------------------------------------------------
@@ -824,3 +1067,197 @@ def test_real_repository_lints_clean():
     # The justified debt is visible, not hidden: the suppressions the
     # tree does carry are all used (RS002 would fire otherwise).
     assert len(result.suppressed) >= 8
+
+
+# --------------------------------------------------------------------------
+# The incremental cache
+# --------------------------------------------------------------------------
+
+
+def _report_key(result):
+    """Everything a report carries, for exact cold-vs-warm comparison."""
+    return (
+        result.findings,
+        [(f, s.reason) for f, s in result.suppressed],
+        result.modules_scanned,
+        format_json(result),
+    )
+
+
+def test_cache_warm_run_is_byte_identical(tmp_path):
+    config = build_project(tmp_path, CORPUS, metrics=METRICS_DOC)
+    cache = tmp_path / "lint-cache.json"
+    cold = run_lint(config, baseline=Baseline(), cache_path=cache)
+    assert cache.exists()
+    warm = run_lint(config, baseline=Baseline(), cache_path=cache)
+    assert _report_key(warm) == _report_key(cold)
+    # And both match the cache-less run.
+    plain = run_lint(config, baseline=Baseline())
+    assert _report_key(plain) == _report_key(cold)
+
+
+def test_cache_invalidates_on_edit(tmp_path):
+    config = build_project(tmp_path, CORPUS, metrics=METRICS_DOC)
+    cache = tmp_path / "lint-cache.json"
+    cold = run_lint(config, baseline=Baseline(), cache_path=cache)
+    engine = src("repro/core/engine.py")
+    clock_line = (engine, line_of("repro/core/engine.py", "time.time()"))
+    assert clock_line in hits(cold, "RS101")
+    path = tmp_path / engine
+    path.write_text(
+        path.read_text(encoding="utf-8").replace("t = time.time()", "t = 0.0"),
+        encoding="utf-8",
+    )
+    warm = run_lint(config, baseline=Baseline(), cache_path=cache)
+    assert hits(warm, "RS101") == set()
+    # Untouched modules keep their findings.
+    assert hits(warm, "RS501") == hits(cold, "RS501")
+
+
+def test_cache_corrupt_file_degrades_to_cold(tmp_path):
+    config = build_project(tmp_path, CORPUS, metrics=METRICS_DOC)
+    cache = tmp_path / "lint-cache.json"
+    cache.write_text("{not json", encoding="utf-8")
+    result = run_lint(config, baseline=Baseline(), cache_path=cache)
+    plain = run_lint(config, baseline=Baseline())
+    assert _report_key(result) == _report_key(plain)
+    # The bad cache was replaced with a valid one.
+    json.loads(cache.read_text(encoding="utf-8"))
+
+
+def test_cache_analyzer_fingerprint_tracks_config(tmp_path):
+    import dataclasses
+
+    from repro.analysis import analyzer_fingerprint
+
+    config = build_project(tmp_path, CORPUS, metrics=METRICS_DOC)
+    base = analyzer_fingerprint(config)
+    retuned = dataclasses.replace(config, hot_modules=())
+    assert analyzer_fingerprint(retuned) != base
+    # Cache location is not part of the analyzer identity.
+    moved = dataclasses.replace(config, cache_path=tmp_path / "elsewhere.json")
+    assert analyzer_fingerprint(moved) == base
+
+
+# --------------------------------------------------------------------------
+# --changed scoping
+# --------------------------------------------------------------------------
+
+
+def _git(root, *argv):
+    import subprocess
+
+    return subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *argv],
+        cwd=root,
+        check=True,
+        capture_output=True,
+    )
+
+
+def _git_fixture(tmp_path):
+    import shutil
+
+    if shutil.which("git") is None:
+        pytest.skip("git not available")
+    config = build_project(tmp_path, CORPUS, metrics=METRICS_DOC)
+    try:
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+    except Exception:
+        pytest.skip("git unusable in this environment")
+    return config
+
+
+def test_changed_paths_reverse_closure():
+    from pathlib import Path
+
+    from repro.analysis import changed_paths
+
+    modules = {
+        "src/repro/a.py": ("repro.a", ["repro.b.helper"]),
+        "src/repro/b.py": ("repro.b", []),
+        "src/repro/c.py": ("repro.c", ["repro.a"]),
+        "src/repro/d.py": ("repro.d", []),
+    }
+    scope = changed_paths(
+        Path("/nonexistent"), modules, changed=["src/repro/b.py"]
+    )
+    # b changed; a imports (a member of) b; c imports a; d is untouched.
+    assert scope == ("src/repro/a.py", "src/repro/b.py", "src/repro/c.py")
+
+
+def test_changed_only_scopes_and_follows_importers(tmp_path):
+    config = _git_fixture(tmp_path)
+    names_rel = "src/repro/obs/names.py"
+    path = tmp_path / names_rel
+    path.write_text(
+        path.read_text(encoding="utf-8") + "# touched\n", encoding="utf-8"
+    )
+    scoped = run_lint(config, baseline=Baseline(), changed_only=True)
+    full = run_lint(config, baseline=Baseline())
+    paths = {f.path for f in scoped.findings}
+    # The edited module and its importers are in scope...
+    assert src("repro/core/engine.py") in paths
+    # ...modules that never (transitively) import it are not.
+    assert src("repro/core/recovery/snapshot.py") not in paths
+    # Scoping only filters — every scoped finding is a full-run finding.
+    assert set(scoped.findings) <= set(full.findings)
+
+
+def test_changed_only_with_clean_tree_reports_nothing(tmp_path):
+    config = _git_fixture(tmp_path)
+    result = run_lint(config, baseline=Baseline(), changed_only=True)
+    assert result.findings == []
+
+
+def test_changed_only_outside_git_falls_back_to_full(tmp_path):
+    config = build_project(tmp_path, CORPUS, metrics=METRICS_DOC)
+    scoped = run_lint(config, baseline=Baseline(), changed_only=True)
+    full = run_lint(config, baseline=Baseline())
+    assert scoped.findings == full.findings
+
+
+# --------------------------------------------------------------------------
+# Mutation acceptance: the rules catch the regressions they were built for
+# --------------------------------------------------------------------------
+
+_LIFECYCLE_RULES = ("RS601", "RS602", "RS603", "RS604")
+_HOT_RULES = ("RS701", "RS702", "RS703")
+
+
+def _real_source(rel):
+    return (default_config().src_root / rel).read_text(encoding="utf-8")
+
+
+def test_mutation_dropped_close_in_shmring_init(tmp_path):
+    """Deleting the attach-path close() in ShmRing.__init__ is caught."""
+    rel = "repro/core/parallel/shm.py"
+    source = _real_source(rel)
+    handler = "                self._shm.close()\n                raise\n"
+    assert handler in source  # the attach-branch error path
+    config = build_project(tmp_path, {rel: source.replace(handler, "                raise\n")})
+    result = run_lint(config, rules=_LIFECYCLE_RULES, baseline=Baseline())
+    (finding,) = result.findings
+    assert finding.rule == "RS603"
+    assert finding.symbol.endswith("ShmRing.__init__")
+    # The pristine copy is clean: exactly the deletion is what fires.
+    pristine = build_project(tmp_path / "pristine", {rel: source})
+    clean = run_lint(pristine, rules=_LIFECYCLE_RULES, baseline=Baseline())
+    assert clean.findings == []
+
+
+def test_mutation_per_flow_loop_in_sketches(tmp_path):
+    """Adding a per-flow Python loop to the sketch hot path is caught."""
+    rel = "repro/core/features/sketches.py"
+    source = _real_source(rel)
+    probe = "\n\ndef _probe(dataset):\n    for flow in dataset:\n        pass\n"
+    config = build_project(tmp_path, {rel: source + probe})
+    result = run_lint(config, rules=_HOT_RULES, baseline=Baseline())
+    (finding,) = result.findings
+    assert finding.rule == "RS701"
+    assert finding.symbol.endswith("_probe")
+    pristine = build_project(tmp_path / "pristine", {rel: source})
+    clean = run_lint(pristine, rules=_HOT_RULES, baseline=Baseline())
+    assert clean.findings == []

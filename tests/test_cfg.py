@@ -1,0 +1,386 @@
+"""Unit tests for the shared CFG + worklist dataflow engine.
+
+The rule passes (RS6xx/RS7xx) are covered end-to-end by the fixture
+corpus in ``test_analysis.py``; here the graph builder and solver are
+exercised directly with toy analyses, so a regression pinpoints the
+engine rather than a rule built on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    CFG,
+    TOP,
+    DataflowAnalysis,
+    iter_functions,
+    may_raise,
+    solve,
+)
+
+
+def build(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return CFG.build(tree.body[0])
+
+
+def stmt_block(graph, line):
+    """The unique non-synthetic block anchored at a source line."""
+    matches = [
+        b
+        for b in graph.blocks
+        if b.role not in ("entry", "exit", "raise", "join") and b.line == line
+    ]
+    assert len(matches) >= 1, f"no block at line {line}"
+    return matches[0]
+
+
+# --------------------------------------------------------------------------
+# Toy analyses
+# --------------------------------------------------------------------------
+
+
+class MayAssign(DataflowAnalysis):
+    """Forward-may: the set of names that *may* have been assigned."""
+
+    def _targets(self, block):
+        stmt = block.stmt
+        if block.role == "stmt" and isinstance(stmt, ast.Assign):
+            return frozenset(
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            )
+        if block.role == "stmt" and isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                return frozenset({stmt.target.id})
+        return frozenset()
+
+    def transfer(self, block, fact):
+        return fact | self._targets(block)
+
+
+class MustAssign(MayAssign):
+    """Forward-must: names assigned on *every* path (intersection join)."""
+
+    def initial(self, cfg):
+        return TOP
+
+    def join(self, left, right):
+        if left is TOP:
+            return right
+        if right is TOP:
+            return left
+        return left & right
+
+
+class MayAssignPreOnRaise(MayAssign):
+    """An assignment that raises never completed: exc edges carry the
+    pre-state, the shape the resource pass relies on."""
+
+    def transfer_exc(self, block, fact):
+        return fact
+
+
+class Liveness(DataflowAnalysis):
+    """Backward-may liveness over plain assignments and returns."""
+
+    direction = "backward"
+
+    def transfer(self, block, fact):
+        stmt = block.stmt
+        if block.role != "stmt":
+            return fact
+        if isinstance(stmt, ast.Assign):
+            kills = frozenset(
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            )
+            uses = frozenset(
+                n.id for n in ast.walk(stmt.value) if isinstance(n, ast.Name)
+            )
+            return (fact - kills) | uses
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            uses = frozenset(
+                n.id for n in ast.walk(stmt.value) if isinstance(n, ast.Name)
+            )
+            return fact | uses
+        return fact
+
+
+class RefinedAssign(MayAssign):
+    """MayAssign that honours `is None` branch refinements."""
+
+    def refine(self, fact, edge):
+        if edge.refine is not None and edge.refine[0] == "none":
+            return fact - {edge.refine[1]}
+        return fact
+
+
+# --------------------------------------------------------------------------
+# Builder structure
+# --------------------------------------------------------------------------
+
+
+def test_branch_edges_and_join():
+    graph = build(
+        """\
+        def f(cond):
+            if cond:
+                x = 1
+            return x
+        """
+    )
+    test = stmt_block(graph, 2)
+    assert test.role == "test"
+    kinds = {e.kind for e in graph.succ[test.index]}
+    assert kinds == {"true", "false"}
+
+
+def test_loop_has_back_edge():
+    graph = build(
+        """\
+        def f(items):
+            total = 0
+            for item in items:
+                total += item
+            return total
+        """
+    )
+    loop = stmt_block(graph, 3)
+    assert loop.role == "loop"
+    body = stmt_block(graph, 4)
+    back = [e for e in graph.succ[body.index] if e.dst == loop.index]
+    assert back, "loop body must branch back to the header"
+
+
+def test_uncaught_call_has_exc_edge_to_raise():
+    graph = build(
+        """\
+        def f():
+            risky()
+            return 0
+        """
+    )
+    call = stmt_block(graph, 2)
+    exc = [e for e in graph.succ[call.index] if e.kind == "exc"]
+    assert [e.dst for e in exc] == [CFG.RAISE]
+
+
+def test_catch_all_handler_intercepts_exc_edges():
+    graph = build(
+        """\
+        def f():
+            try:
+                risky()
+            except Exception:
+                handled = 1
+            return 0
+        """
+    )
+    call = stmt_block(graph, 3)
+    exc = [e for e in graph.succ[call.index] if e.kind == "exc"]
+    assert exc
+    for edge in exc:
+        assert edge.dst != CFG.RAISE
+        assert graph.blocks[edge.dst].role == "except"
+
+
+def test_finally_body_is_duplicated_per_continuation():
+    graph = build(
+        """\
+        def f():
+            try:
+                risky()
+                return 1
+            finally:
+                cleanup()
+        """
+    )
+    copies = [
+        b
+        for b in graph.blocks
+        if b.role == "stmt" and b.line == 6  # the cleanup() line
+    ]
+    # At least the return continuation and the exception continuation
+    # each run their own copy of the finally body.
+    assert len(copies) >= 2
+
+
+def test_with_blocks_have_enter_and_exit_roles():
+    graph = build(
+        """\
+        def f(p):
+            with open(p) as fh:
+                fh.read()
+            return 1
+        """
+    )
+    roles = {b.role for b in graph.blocks}
+    assert "with" in roles and "with-exit" in roles
+
+
+def test_is_none_branch_refinements():
+    graph = build(
+        """\
+        def f(x):
+            if x is None:
+                return 0
+            return 1
+        """
+    )
+    test = stmt_block(graph, 2)
+    refines = {e.kind: e.refine for e in graph.succ[test.index]}
+    assert refines["true"] == ("none", "x")
+    assert refines["false"] == ("not-none", "x")
+
+
+def test_may_raise_classification():
+    def stmt(src):
+        return ast.parse(textwrap.dedent(src)).body[0]
+
+    assert may_raise(stmt("f()"))
+    assert may_raise(stmt("raise ValueError()"))
+    assert may_raise(stmt("assert x"))
+    assert not may_raise(stmt("x = 1"))
+    # Code inside a nested definition does not execute *here*.
+    assert not may_raise(stmt("def g():\n    f()"))
+
+
+def test_iter_functions_qualnames_and_classes():
+    tree = ast.parse(
+        textwrap.dedent(
+            """\
+            class C:
+                def m(self):
+                    pass
+
+            def helper():
+                def inner():
+                    pass
+                return inner
+            """
+        )
+    )
+    by_name = {name: cls for name, _, cls in iter_functions(tree)}
+    assert set(by_name) == {"C.m", "helper", "helper.inner"}
+    assert by_name["C.m"] is not None and by_name["C.m"].name == "C"
+    # A nested function is not a method of the enclosing class.
+    assert by_name["helper.inner"] is None
+
+
+# --------------------------------------------------------------------------
+# Solver semantics
+# --------------------------------------------------------------------------
+
+
+def test_forward_may_joins_branches():
+    graph = build(
+        """\
+        def f(cond):
+            if cond:
+                x = 1
+            return x
+        """
+    )
+    facts = solve(graph, MayAssign())
+    assert facts[CFG.EXIT] == {"x"}
+
+
+def test_forward_must_intersects_branches():
+    one_sided = build(
+        """\
+        def f(cond):
+            if cond:
+                x = 1
+            return 0
+        """
+    )
+    assert "x" not in solve(one_sided, MustAssign())[CFG.EXIT]
+    both = build(
+        """\
+        def f(cond):
+            if cond:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+    )
+    assert "x" in solve(both, MustAssign())[CFG.EXIT]
+
+
+def test_loop_reaches_fixpoint_and_propagates():
+    graph = build(
+        """\
+        def f(n):
+            while n:
+                x = 1
+            return 0
+        """
+    )
+    facts = solve(graph, MayAssign())
+    # The body assignment flows around the back edge and out of the
+    # loop's false edge.
+    assert facts[CFG.EXIT] == {"x"}
+
+
+def test_exception_edges_carry_the_pre_state():
+    graph = build(
+        """\
+        def f():
+            x = risky()
+            return x
+        """
+    )
+    facts = solve(graph, MayAssignPreOnRaise())
+    # If risky() raises, the binding never happened.
+    assert "x" not in facts[CFG.RAISE]
+    assert "x" in facts[CFG.EXIT]
+
+
+def test_exception_join_merges_handler_and_normal_paths():
+    graph = build(
+        """\
+        def f():
+            try:
+                x = risky()
+            except Exception:
+                y = 1
+            return 0
+        """
+    )
+    facts = solve(graph, MayAssignPreOnRaise())
+    # Both the normal binding and the handler binding may reach exit.
+    assert facts[CFG.EXIT] >= {"x", "y"}
+
+
+def test_backward_liveness():
+    graph = build(
+        """\
+        def f(a):
+            b = a
+            c = b
+            return c
+        """
+    )
+    facts = solve(graph, Liveness())
+    # Only the parameter is live at entry; b dies after feeding c.
+    assert facts[CFG.ENTRY] == {"a"}
+    assert facts[stmt_block(graph, 3).index] == {"c"}
+
+
+def test_refinement_kills_fact_on_none_edge():
+    graph = build(
+        """\
+        def f():
+            x = make()
+            if x is None:
+                return 0
+            return 1
+        """
+    )
+    facts = solve(graph, RefinedAssign())
+    # Input to `return 0` flowed through the None-branch: x was dropped.
+    assert "x" not in facts[stmt_block(graph, 4).index]
+    # The not-None branch keeps the binding.
+    assert "x" in facts[stmt_block(graph, 5).index]

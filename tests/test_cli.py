@@ -363,6 +363,22 @@ class TestLint:
             "version": 1, "entries": [],
         }
 
+    def test_warm_cache_json_matches_cold(self, capsys):
+        """The CI gate: cached rerun output is byte-identical."""
+        assert main(["lint", "--format", "json", "--no-cache"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["lint", "--format", "json"]) == 0  # fills the cache
+        filled = capsys.readouterr().out
+        assert main(["lint", "--format", "json"]) == 0  # fully warm
+        warm = capsys.readouterr().out
+        assert cold == filled == warm
+
+    def test_changed_scope_exits_zero(self, capsys):
+        # Scoping only filters a clean report; whatever the working
+        # tree's diff is, the scoped run stays clean too.
+        assert main(["lint", "--changed"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
 
 class TestStreamBackendResolution:
     """Unit tests for the flag/env -> backend mapping (no workers spawned)."""
